@@ -1,0 +1,69 @@
+// Extension bench: the value of corroboration. §2 motivates k-coverage
+// with "What if we want some redundancy in the data sources to overcome
+// errors introduced by a single source?"; §3.3 studies k-coverage but the
+// paper never closes the loop to extraction *accuracy*. This bench does:
+// noisy sources (per-site error rates in [1%, 25%]), majority-vote
+// resolution over the top-t sites, and the resulting correctly-resolved
+// fraction of the database — single-source vs 3-source corroboration.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/corroboration.h"
+#include "core/coverage.h"
+
+int main() {
+  using namespace wsd;
+  const StudyOptions options = bench::Options();
+  bench::PrintHeader("Extension: accuracy value of k-corroboration",
+                     "§2 (redundancy motivation), §3.3", options);
+
+  Study study(options);
+  auto scan = study.RunScan(Domain::kRestaurants, Attribute::kPhone);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  const auto t_values = DefaultCoverageTValues(
+      static_cast<uint32_t>(scan->table.num_hosts()));
+
+  CorroborationOptions single;
+  single.min_sources = 1;
+  CorroborationOptions triple;
+  triple.min_sources = 3;
+  auto s1 = SimulateCorroboration(scan->table, options.ScaledEntities(),
+                                  single, t_values, options.seed);
+  auto s3 = SimulateCorroboration(scan->table, options.ScaledEntities(),
+                                  triple, t_values, options.seed);
+  if (!s1.ok() || !s3.ok()) {
+    std::cerr << (s1.ok() ? s3.status() : s1.status()) << "\n";
+    return 1;
+  }
+
+  TextTable table({"top-t sites", "covered (>=1 src)", "correct (>=1 src)",
+                   "covered (>=3 src)", "correct (>=3 src)"});
+  for (size_t i = 0; i < t_values.size(); ++i) {
+    table.AddRow({std::to_string(t_values[i]),
+                  FormatPct((*s1)[i].covered_fraction),
+                  FormatPct((*s1)[i].correct_fraction),
+                  FormatPct((*s3)[i].covered_fraction),
+                  FormatPct((*s3)[i].correct_fraction)});
+  }
+  table.Print(std::cout);
+
+  const auto& last1 = s1->back();
+  const auto& last3 = s3->back();
+  const double acc1 = last1.correct_fraction / last1.covered_fraction;
+  const double acc3 = last3.correct_fraction / last3.covered_fraction;
+  std::cout << "\n";
+  bench::PrintAnchor(
+      "conditional accuracy of resolved entities, full web",
+      "3-source voting beats single-source",
+      StrFormat(">=3 src: %.2f%% vs >=1 src: %.2f%%", acc3 * 100.0,
+                acc1 * 100.0));
+  std::cout << "(the catch: reaching 3-source coverage for most entities "
+               "requires thousands of\ntail sites — Figures 1-3's k>1 "
+               "curves — which is precisely the paper's case for\n"
+               "web-scale extraction)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3: spread of book ISBN numbers — k-coverage of the top-t sites
+// for the Books domain, identifiers extracted as 10/13-digit ISBNs with
+// an "ISBN" context window and a valid check digit.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wsd;
+  const StudyOptions options = bench::Options();
+  bench::PrintHeader("Figure 3: Spread of Book ISBN Numbers",
+                     "Fig 3, §3.4", options);
+
+  Study study(options);
+  auto spread = study.RunSpread(Domain::kBooks, Attribute::kIsbn);
+  if (!spread.ok()) {
+    std::cerr << "spread failed: " << spread.status() << "\n";
+    return 1;
+  }
+  PrintCoverageCurve(
+      StrFormat("Fig 3: Books - ISBN (pages=%llu, %.1f MiB scanned, %.2fs)",
+                (unsigned long long)spread->stats.pages_scanned,
+                spread->stats.bytes_scanned / (1024.0 * 1024.0),
+                spread->stats.wall_seconds),
+      spread->curve, std::cout);
+
+  std::cout << "\npaper: \"Similar trends can be observed ... for the ISBN "
+               "attribute of the book\ndomain. In fact, the gap between "
+               "curves corresponding to different k values can\nbe even "
+               "bigger\" (avg sites/entity is only 8, so corroboration "
+               "exhausts the head\nfaster than for phones).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5: ordering sites by diversity — greedy set cover vs. ordering
+// by size, for the homepage attribute of restaurants. The paper's
+// conclusion: "a careful choice of hosts does not lead to significant
+// increase in coverage by top sites."
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wsd;
+  const StudyOptions options = bench::Options();
+  bench::PrintHeader("Figure 5: Ordering Sites by Diversity",
+                     "Fig 5, §3.4.1", options);
+
+  Study study(options);
+  auto curve = study.RunSetCover(Domain::kRestaurants, Attribute::kHomepage);
+  if (!curve.ok()) {
+    std::cerr << "set cover failed: " << curve.status() << "\n";
+    return 1;
+  }
+  PrintSetCover("Fig 5: Restaurants - homepage, greedy vs size ordering",
+                *curve, std::cout);
+
+  double head_improvement = 0.0;  // over the t <= 1000 range
+  double max_improvement = 0.0;
+  for (size_t i = 0; i < curve->t_values.size(); ++i) {
+    const double improvement =
+        curve->greedy_coverage[i] - curve->size_coverage[i];
+    if (curve->t_values[i] <= 1000) {
+      head_improvement = std::max(head_improvement, improvement);
+    }
+    max_improvement = std::max(max_improvement, improvement);
+  }
+  std::cout << "\n";
+  bench::PrintAnchor("greedy improvement over size ordering (t <= 1000)",
+                    "slight / insignificant",
+                    StrFormat("%.2f percentage points",
+                              head_improvement * 100.0));
+  std::cout << "(max improvement anywhere: "
+            << StrFormat("%.2fpp", max_improvement * 100.0)
+            << " — larger at t near the synthetic web's full size, where "
+               "greedy can finish\ncovering the tail early; the paper's "
+               "web had ~3 more orders of magnitude of tail,\nso its "
+               "curves stay overlapped across the whole plotted range)\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 8: average relative value-add VA(n)/VA(0) of one more review as
+// a function of the number of existing reviews n, with VA(n) the mean of
+// demand/(1+n) over entities with n reviews. The paper's findings:
+// decreasing in n for Yelp and Amazon (tail extraction is worth more than
+// raw demand suggests); humped for IMDb.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/demand_analysis.h"
+
+int main() {
+  using namespace wsd;
+  const StudyOptions options = bench::Options();
+  bench::PrintHeader("Figure 8: Relative value-add of one more review",
+                     "Fig 8, §4.3", options);
+
+  Study study(options);
+  const TrafficSite sites[] = {TrafficSite::kAmazon, TrafficSite::kYelp,
+                               TrafficSite::kImdb};
+  for (TrafficSite site : sites) {
+    auto result = study.RunValueStudy(site);
+    if (!result.ok()) {
+      std::cerr << "value study failed: " << result.status() << "\n";
+      return 1;
+    }
+    PrintValueAddBins(
+        StrFormat("Fig 8: %s - VA(n)/VA(0) by review-count bin",
+                  std::string(TrafficSiteName(site)).c_str()),
+        result->bins, std::cout);
+
+    // Shape anchors: the first and last occupied bins beyond bin 0.
+    std::vector<std::pair<std::string, double>> occupied;
+    for (const auto& bin : result->bins) {
+      if (bin.num_entities >= 10) {
+        occupied.emplace_back(bin.label, bin.rel_va_search);
+      }
+    }
+    if (occupied.size() >= 3) {
+      double peak = 0.0;
+      for (const auto& [label, va] : occupied) peak = std::max(peak, va);
+      const double last = occupied.back().second;
+      const bool decreasing = peak <= occupied.front().second + 0.15;
+      const bool humped = peak > occupied.front().second + 0.15 &&
+                          last < peak * 0.8;
+      const char* expected = site == TrafficSite::kImdb
+                                 ? "humped (rises mid-range, falls at head)"
+                                 : "decreasing in n";
+      const char* measured = humped ? "humped"
+                             : decreasing ? "decreasing"
+                                          : "mixed";
+      bench::PrintAnchor(
+          StrFormat("%s: VA(n)/VA(0) shape",
+                    std::string(TrafficSiteName(site)).c_str()),
+          expected, measured);
+    }
+    std::cout << "\n";
+  }
+
+  // §4.3.1's stated alternative I_Δ: a step function that zeroes the
+  // value once an entity has >= 10 reviews ("a user reads no more than c
+  // reviews"). The paper: "these alternative choices would estimate even
+  // higher value-add of extracting a new review for tail entities."
+  {
+    auto yelp = study.RunValueStudy(TrafficSite::kYelp);
+    if (!yelp.ok()) {
+      std::cerr << yelp.status() << "\n";
+      return 1;
+    }
+    ValueAddOptions step;
+    step.decay = ValueAddOptions::InfoDecay::kStepAtCutoff;
+    auto step_bins =
+        AnalyzeValueAddWithOptions(yelp->demand, yelp->reviews, step);
+    if (!step_bins.ok()) {
+      std::cerr << step_bins.status() << "\n";
+      return 1;
+    }
+    std::cout << "Fig 8 (alt I_delta): Yelp under the step decay "
+                 "(zero value once n >= 10)\n";
+    TextTable table({"#reviews (n)", "VA(n)/VA(0) inverse-linear",
+                     "VA(n)/VA(0) step@10"});
+    for (size_t i = 0; i < step_bins->size(); ++i) {
+      table.AddRow({(*step_bins)[i].label,
+                    FormatF(yelp->bins[i].rel_va_search, 3),
+                    FormatF((*step_bins)[i].rel_va_search, 3)});
+    }
+    table.Print(std::cout);
+    // The head bins' value collapses under the step model, so relative
+    // tail value rises — the paper's §4.3.1 remark.
+    double head_linear = 0, head_step = 0;
+    for (size_t i = 4; i < step_bins->size(); ++i) {  // n >= 15
+      head_linear += yelp->bins[i].rel_va_search;
+      head_step += (*step_bins)[i].rel_va_search;
+    }
+    std::cout << "\n";
+    bench::PrintAnchor(
+        "step decay shifts value toward the tail",
+        "alternative I_delta estimates even higher tail value-add",
+        StrFormat("head-bin VA sum: %.3f (step) vs %.3f (inverse-linear)",
+                  head_step, head_linear));
+  }
+  return 0;
+}

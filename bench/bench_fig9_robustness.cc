@@ -1,0 +1,86 @@
+// Figure 9: robustness — the fraction of entities in the largest
+// connected component after removing the top-k sites (by entity
+// mentions), k = 0..10, for the ISBN + phone graphs (panel a) and the
+// homepage graphs (panel b).
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wsd;
+  const StudyOptions options = bench::Options();
+  bench::PrintHeader("Figure 9: Robustness after removing top-k sites",
+                     "Fig 9, §5.3", options);
+
+  Study study(options);
+
+  struct Series {
+    std::string name;
+    std::vector<RobustnessPoint> points;
+  };
+
+  auto run = [&](Domain domain, Attribute attr,
+                 std::vector<Series>* out) -> bool {
+    auto points = study.RunRobustness(domain, attr, 10);
+    if (!points.ok()) {
+      std::cerr << "robustness failed for " << DomainName(domain) << "/"
+                << AttributeName(attr) << ": " << points.status() << "\n";
+      return false;
+    }
+    out->push_back({std::string(DomainName(domain)),
+                    std::move(points).value()});
+    return true;
+  };
+
+  auto print_panel = [](const std::string& title,
+                        const std::vector<Series>& panel) {
+    std::cout << title << "\n";
+    std::vector<std::string> header = {"k removed"};
+    for (const Series& s : panel) header.push_back(s.name);
+    TextTable table(std::move(header));
+    const size_t rows = panel.empty() ? 0 : panel[0].points.size();
+    for (size_t i = 0; i < rows; ++i) {
+      std::vector<std::string> row = {
+          std::to_string(panel[0].points[i].removed_sites)};
+      for (const Series& s : panel) {
+        row.push_back(
+            FormatPct(s.points[i].largest_component_entity_fraction));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  };
+
+  std::vector<Series> panel_a;
+  if (!run(Domain::kBooks, Attribute::kIsbn, &panel_a)) return 1;
+  for (Domain domain : LocalBusinessDomains()) {
+    if (!run(domain, Attribute::kPhone, &panel_a)) return 1;
+  }
+  print_panel("Fig 9(a): ISBN + phone graphs, % entities in largest "
+              "component",
+              panel_a);
+
+  std::vector<Series> panel_b;
+  for (Domain domain : LocalBusinessDomains()) {
+    if (!run(domain, Attribute::kHomepage, &panel_b)) return 1;
+  }
+  print_panel("Fig 9(b): homepage graphs, % entities in largest component",
+              panel_b);
+
+  double min_a = 1.0, min_b = 1.0;
+  for (const Series& s : panel_a) {
+    min_a = std::min(min_a,
+                     s.points.back().largest_component_entity_fraction);
+  }
+  for (const Series& s : panel_b) {
+    min_b = std::min(min_b,
+                     s.points.back().largest_component_entity_fraction);
+  }
+  bench::PrintAnchor("ISBN+phone graphs after removing top-10", "> 99%",
+                    FormatPct(min_a));
+  bench::PrintAnchor("homepage graphs after removing top-10", "> 90%",
+                    FormatPct(min_b));
+  return 0;
+}

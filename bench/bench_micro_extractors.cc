@@ -1,0 +1,187 @@
+// Engineering micro-benchmarks for the extraction hot path: HTML
+// tokenization, visible-text extraction, and the three identifier
+// extractors. Not a paper figure; quantifies the scan pipeline's
+// throughput and the hash-index matching ablation from DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/web_cache.h"
+#include "extract/isbn_extractor.h"
+#include "extract/matcher.h"
+#include "extract/review_detector.h"
+#include "extract/phone_extractor.h"
+#include "html/text_extract.h"
+#include "html/tokenizer.h"
+
+namespace {
+
+using namespace wsd;
+
+// A bundle of rendered pages reused across iterations.
+struct Corpus {
+  SyntheticWeb web;
+  std::vector<std::string> pages;
+  uint64_t total_bytes = 0;
+
+  static Corpus Make(Attribute attr) {
+    SyntheticWeb::Config config;
+    config.domain =
+        attr == Attribute::kIsbn ? Domain::kBooks : Domain::kRestaurants;
+    config.attr = attr;
+    config.num_entities = 2000;
+    config.seed = 99;
+    SpreadParams params = DefaultSpreadParams(config.domain, attr);
+    params.num_sites = 500;
+    config.spread = params;
+    auto web = SyntheticWeb::Create(config);
+    Corpus corpus{std::move(web).value(), {}, 0};
+    for (SiteId s = 0; s < 40; ++s) {
+      corpus.web.GeneratePages(s, [&](const Page& p, const PageTruth&) {
+        corpus.total_bytes += p.html.size();
+        corpus.pages.push_back(p.html);
+      });
+    }
+    return corpus;
+  }
+};
+
+void BM_HtmlTokenize(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  for (auto _ : state) {
+    for (const std::string& page : corpus.pages) {
+      html::Tokenizer tokenizer(page);
+      html::Token token;
+      while (tokenizer.Next(&token)) benchmark::DoNotOptimize(token.type);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(corpus.total_bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_HtmlTokenize);
+
+void BM_VisibleText(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  for (auto _ : state) {
+    for (const std::string& page : corpus.pages) {
+      benchmark::DoNotOptimize(html::ExtractVisibleText(page));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(corpus.total_bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_VisibleText);
+
+void BM_PhoneExtract(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  static std::vector<std::string> texts = [] {
+    std::vector<std::string> out;
+    for (const std::string& page : corpus.pages) {
+      out.push_back(html::ExtractVisibleText(page));
+    }
+    return out;
+  }();
+  uint64_t bytes = 0;
+  for (const auto& t : texts) bytes += t.size();
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      benchmark::DoNotOptimize(ExtractPhones(text));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_PhoneExtract);
+
+void BM_IsbnExtract(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kIsbn);
+  static std::vector<std::string> texts = [] {
+    std::vector<std::string> out;
+    for (const std::string& page : corpus.pages) {
+      out.push_back(html::ExtractVisibleText(page));
+    }
+    return out;
+  }();
+  uint64_t bytes = 0;
+  for (const auto& t : texts) bytes += t.size();
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      benchmark::DoNotOptimize(ExtractIsbns(text));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_IsbnExtract);
+
+// Ablation: hash-index identifier matching vs. a linear catalog scan.
+void BM_MatchHashIndex(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  static std::vector<std::string> texts = [] {
+    std::vector<std::string> out;
+    for (const std::string& page : corpus.pages) {
+      out.push_back(html::ExtractVisibleText(page));
+    }
+    return out;
+  }();
+  const EntityMatcher matcher(corpus.web.catalog(), Attribute::kPhone);
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      benchmark::DoNotOptimize(matcher.MatchPage(text));
+    }
+  }
+}
+BENCHMARK(BM_MatchHashIndex);
+
+void BM_MatchLinearScan(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  static std::vector<std::string> texts = [] {
+    std::vector<std::string> out;
+    for (const std::string& page : corpus.pages) {
+      out.push_back(html::ExtractVisibleText(page));
+    }
+    return out;
+  }();
+  const auto& entities = corpus.web.catalog().entities();
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      std::vector<EntityId> ids;
+      for (const PhoneMatch& m : ExtractPhones(text)) {
+        for (const Entity& e : entities) {
+          if (e.phone.digits() == m.digits) {
+            ids.push_back(e.id);
+            break;
+          }
+        }
+      }
+      benchmark::DoNotOptimize(ids);
+    }
+  }
+}
+BENCHMARK(BM_MatchLinearScan)->Iterations(1);
+
+
+void BM_ReviewDetector(benchmark::State& state) {
+  static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  static std::vector<std::string> texts = [] {
+    std::vector<std::string> out;
+    for (const std::string& page : corpus.pages) {
+      out.push_back(html::ExtractVisibleText(page));
+    }
+    return out;
+  }();
+  static const ReviewDetector* detector = [] {
+    auto built = ReviewDetector::CreateDefault(7);
+    return new ReviewDetector(std::move(built).value());
+  }();
+  uint64_t bytes = 0;
+  for (const auto& t : texts) bytes += t.size();
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      benchmark::DoNotOptimize(detector->Score(text));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_ReviewDetector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

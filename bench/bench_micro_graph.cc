@@ -1,0 +1,73 @@
+// Ablation bench: exact diameter via iFUB vs. the all-pairs BFS
+// reference, and union-find component analysis throughput, on
+// entity-site graphs of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+
+namespace {
+
+using namespace wsd;
+
+// Builds a scanned host table once per size and caches the graph.
+const BipartiteGraph& GraphOfSize(int64_t entities) {
+  static std::map<int64_t, std::unique_ptr<BipartiteGraph>>* cache =
+      new std::map<int64_t, std::unique_ptr<BipartiteGraph>>;
+  auto it = cache->find(entities);
+  if (it != cache->end()) return *it->second;
+
+  StudyOptions options;
+  options.num_entities = static_cast<uint32_t>(entities);
+  options.scale = 1.0;
+  options.seed = 1234;
+  Study study(options);
+  // Scale sites with entities to keep density realistic.
+  auto scan = study.RunScan(Domain::kRestaurants, Attribute::kPhone);
+  auto graph = std::make_unique<BipartiteGraph>(BipartiteGraph::FromHostTable(
+      scan->table, options.ScaledEntities()));
+  const BipartiteGraph& ref = *graph;
+  cache->emplace(entities, std::move(graph));
+  return ref;
+}
+
+void BM_DiameterIFUB(benchmark::State& state) {
+  const BipartiteGraph& graph = GraphOfSize(state.range(0));
+  uint32_t bfs_runs = 0;
+  for (auto _ : state) {
+    const DiameterResult r = ExactDiameter(graph);
+    bfs_runs = r.bfs_runs;
+    benchmark::DoNotOptimize(r.diameter);
+  }
+  state.counters["bfs_runs"] = bfs_runs;
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_DiameterIFUB)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DiameterAllPairs(benchmark::State& state) {
+  const BipartiteGraph& graph = GraphOfSize(state.range(0));
+  uint32_t bfs_runs = 0;
+  for (auto _ : state) {
+    const DiameterResult r = AllPairsDiameter(graph);
+    bfs_runs = r.bfs_runs;
+    benchmark::DoNotOptimize(r.diameter);
+  }
+  state.counters["bfs_runs"] = bfs_runs;
+}
+// All-pairs is O(V*E); keep it to the small size.
+BENCHMARK(BM_DiameterAllPairs)->Arg(1000)->Iterations(1);
+
+void BM_Components(benchmark::State& state) {
+  const BipartiteGraph& graph = GraphOfSize(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeComponents(graph));
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_Components)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation bench for the web model itself: attractiveness-weighted
+// attachment vs. uniform attachment. Uniform attachment destroys the
+// paper's head-coverage shape (top-10 sites cover almost nothing), which
+// is why the mixture model exists. Also measures model build throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/coverage.h"
+#include "corpus/site_model.h"
+#include "extract/host_table.h"
+#include "entity/catalog.h"
+
+namespace {
+
+using namespace wsd;
+
+const DomainCatalog& Catalog() {
+  static const DomainCatalog* catalog = [] {
+    auto built = DomainCatalog::Build(Domain::kRestaurants, 8000, 5);
+    return new DomainCatalog(std::move(built).value());
+  }();
+  return *catalog;
+}
+
+void BM_BuildModelAttractiveness(benchmark::State& state) {
+  const SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  for (auto _ : state) {
+    auto model = SiteEntityModel::Build(Catalog(), params, 11);
+    benchmark::DoNotOptimize(model->num_edges());
+  }
+}
+BENCHMARK(BM_BuildModelAttractiveness);
+
+void BM_BuildModelUniform(benchmark::State& state) {
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  // Uniform attachment: a flat site distribution with no head component.
+  params.head_bias = 0.0;
+  params.flat_alpha = 0.0;
+  for (auto _ : state) {
+    auto model = SiteEntityModel::Build(Catalog(), params, 11);
+    benchmark::DoNotOptimize(model->num_edges());
+  }
+}
+BENCHMARK(BM_BuildModelUniform);
+
+// Not a timing benchmark: prints the head-coverage contrast once, to make
+// the ablation's point in numbers.
+void BM_HeadCoverageContrast(benchmark::State& state) {
+  for (auto _ : state) {
+    SpreadParams params =
+        DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+    auto real = SiteEntityModel::Build(Catalog(), params, 11);
+    params.head_bias = 0.0;
+    params.flat_alpha = 0.0;
+    auto uniform = SiteEntityModel::Build(Catalog(), params, 11);
+
+    auto top10 = [&](const SiteEntityModel& model) {
+      auto curve = ComputeKCoverage(ModelToHostTable(model), Catalog().size(),
+                                    1, {10});
+      return curve->k_coverage[0][0];
+    };
+    state.counters["top10_attractiveness"] = top10(*real);
+    state.counters["top10_uniform"] = top10(*uniform);
+  }
+}
+BENCHMARK(BM_HeadCoverageContrast)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+#ifndef WSD_BENCH_BENCH_UTIL_H_
+#define WSD_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "util/string_util.h"
+
+namespace wsd {
+namespace bench {
+
+/// Study options shared by every figure bench: defaults plus the
+/// WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS environment knobs.
+inline StudyOptions Options() { return StudyOptions::FromEnv(); }
+
+/// Prints the standard run banner so bench output is self-describing.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_ref,
+                        const StudyOptions& options) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "entities/domain=" << options.ScaledEntities()
+            << " seed=" << options.seed << " scale=" << options.scale
+            << "\n\n";
+}
+
+/// Prints one "paper vs measured" anchor line. `ok` tolerance is decided
+/// by the caller; this only formats.
+inline void PrintAnchor(const std::string& what, const std::string& paper,
+                        const std::string& measured) {
+  std::cout << "anchor: " << what << "  [paper: " << paper
+            << " | measured: " << measured << "]\n";
+}
+
+}  // namespace bench
+}  // namespace wsd
+
+#endif  // WSD_BENCH_BENCH_UTIL_H_

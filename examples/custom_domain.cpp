@@ -1,0 +1,79 @@
+// Custom-domain walkthrough: how a user of the library studies a web
+// model of their own design rather than the paper's calibrated defaults.
+// We model a hypothetical "food trucks" vertical — no dominant national
+// aggregator at all — and contrast its spread and robustness against the
+// calibrated restaurant defaults.
+//
+//   ./build/examples/custom_domain
+
+#include <iostream>
+
+#include "core/connectivity.h"
+#include "core/coverage.h"
+#include "core/report.h"
+#include "corpus/site_model.h"
+#include "entity/catalog.h"
+
+int main() {
+  constexpr uint32_t kEntities = 5000;
+  constexpr uint64_t kSeed = 99;
+
+  auto catalog =
+      wsd::DomainCatalog::Build(wsd::Domain::kRestaurants, kEntities, kSeed);
+  if (!catalog.ok()) {
+    std::cerr << catalog.status() << "\n";
+    return 1;
+  }
+
+  // The calibrated restaurant-phone defaults: strong head aggregators.
+  const wsd::SpreadParams with_aggregators = wsd::DefaultSpreadParams(
+      wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
+
+  // A hypothetical aggregator-free vertical: every site is a local blog
+  // or event page. Flat attractiveness, lighter per-entity presence.
+  wsd::SpreadParams food_trucks = with_aggregators;
+  food_trucks.head_bias = 0.0;     // no national aggregator component
+  food_trucks.flat_alpha = 0.35;   // very flat long tail
+  food_trucks.mean_degree = 6;     // few mentions per truck
+  food_trucks.degree_sigma = 0.9;
+  food_trucks.head_degree_ref = 0;
+
+  auto analyze = [&](const char* name, const wsd::SpreadParams& params) {
+    auto model = wsd::SiteEntityModel::Build(*catalog, params, kSeed);
+    if (!model.ok()) {
+      std::cerr << model.status() << "\n";
+      std::exit(1);
+    }
+    const wsd::HostEntityTable table = wsd::ModelToHostTable(*model);
+    auto curve = wsd::ComputeKCoverage(
+        table, kEntities, 3,
+        wsd::DefaultCoverageTValues(
+            static_cast<uint32_t>(table.num_hosts())));
+    if (!curve.ok()) {
+      std::cerr << curve.status() << "\n";
+      std::exit(1);
+    }
+    wsd::PrintCoverageCurve(name, *curve, std::cout);
+
+    auto metrics = wsd::ComputeGraphMetrics(
+        wsd::Domain::kRestaurants, wsd::Attribute::kPhone, table, kEntities);
+    if (metrics.ok()) {
+      std::cout << "  graph: diameter " << metrics->diameter << ", "
+                << metrics->num_components << " components, largest "
+                << wsd::FormatF(metrics->largest_component_entity_pct, 1)
+                << "% of entities\n\n";
+    }
+  };
+
+  analyze("Calibrated restaurants (head aggregators), phone spread",
+          with_aggregators);
+  analyze("Hypothetical food trucks (no aggregators), phone spread",
+          food_trucks);
+
+  std::cout
+      << "Without aggregators there is no head to wrap: even 1-coverage "
+         "crawls up the\nsite axis, so a domain-centric extraction system "
+         "must go web-scale from day one.\nThe paper's domains all have "
+         "heads - and STILL need the tail (its key finding).\n";
+  return 0;
+}

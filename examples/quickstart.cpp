@@ -1,0 +1,44 @@
+// Quickstart: build a small synthetic restaurant web, run the paper's
+// cache-scan + k-coverage pipeline, and print the spread of the phone
+// attribute (the Fig 1(a) experiment at toy scale).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/study.h"
+
+int main() {
+  wsd::StudyOptions options;
+  options.num_entities = 2000;  // toy scale; benches use 10x this
+  options.scale = 0.25;         // shrink the web accordingly
+  options.seed = 7;
+
+  wsd::Study study(options);
+
+  auto spread =
+      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
+  if (!spread.ok()) {
+    std::cerr << "spread experiment failed: " << spread.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Scanned " << spread->stats.pages_scanned << " pages ("
+            << spread->stats.bytes_scanned / (1024 * 1024) << " MiB) across "
+            << spread->stats.hosts_scanned << " hosts in "
+            << wsd::FormatF(spread->stats.wall_seconds, 2) << "s; matched "
+            << spread->stats.entity_mentions << " entity mentions.\n\n";
+
+  wsd::PrintCoverageCurve(
+      "k-coverage of the phone attribute, Restaurants (toy scale)",
+      spread->curve, std::cout);
+
+  std::cout << "\nReading the table: with k=1, the top-10 sites already "
+               "cover most entities,\nbut higher k (corroboration from k "
+               "independent sites) pushes the needed\nsite count far into "
+               "the tail - the paper's central observation.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Restaurant coverage study: the paper's motivating scenario ("one might
+// be interested in constructing a database of all restaurants...").
+// Builds the synthetic restaurant web, runs the full extraction pipeline
+// for the phone AND homepage attributes, prints the k-coverage contrast,
+// and answers the operational question: how many sites must a
+// domain-centric extraction system wrap to reach a coverage goal?
+//
+//   ./build/examples/restaurant_coverage [coverage_goal_percent]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "util/string_util.h"
+
+namespace {
+
+// Smallest t reaching `goal` coverage at the given k, or 0 if never.
+uint32_t SitesNeeded(const wsd::CoverageCurve& curve, uint32_t k,
+                     double goal) {
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    if (curve.k_coverage[k - 1][i] >= goal) return curve.t_values[i];
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double goal = 0.90;
+  if (argc > 1) {
+    goal = std::atof(argv[1]) / 100.0;
+    if (goal <= 0.0 || goal > 1.0) {
+      std::cerr << "usage: restaurant_coverage [coverage_goal_percent]\n";
+      return 1;
+    }
+  }
+
+  wsd::StudyOptions options;
+  options.num_entities = 8000;
+  options.scale = 0.5;
+  options.seed = 2012;
+  wsd::Study study(options);
+
+  std::cout << "Building the synthetic restaurant web and scanning it for "
+               "both attributes...\n\n";
+
+  auto phone =
+      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
+  auto homepage =
+      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kHomepage);
+  if (!phone.ok() || !homepage.ok()) {
+    std::cerr << "scan failed: "
+              << (phone.ok() ? homepage.status() : phone.status()) << "\n";
+    return 1;
+  }
+
+  wsd::PrintCoverageCurve("Restaurants - phone spread", phone->curve,
+                          std::cout);
+  std::cout << "\n";
+  wsd::PrintCoverageCurve("Restaurants - homepage spread", homepage->curve,
+                          std::cout);
+
+  std::cout << "\nSites needed for "
+            << wsd::StrFormat("%.0f%%", goal * 100.0) << " coverage:\n";
+  wsd::TextTable table({"attribute", "k=1 (any mention)",
+                        "k=3 (3-way corroboration)", "k=5"});
+  auto row = [&](const char* name, const wsd::CoverageCurve& curve) {
+    auto cell = [&](uint32_t k) {
+      const uint32_t t = SitesNeeded(curve, k, goal);
+      return t == 0 ? std::string("not reachable") : std::to_string(t);
+    };
+    table.AddRow({name, cell(1), cell(3), cell(5)});
+  };
+  row("phone", phone->curve);
+  row("homepage", homepage->curve);
+  table.Print(std::cout);
+
+  std::cout << "\nTakeaway (paper §3.4): a handful of aggregators nearly "
+               "covers phones, but\ncorroborated or less-available "
+               "attributes need thousands of tail sites —\nthe case for "
+               "web-scale, domain-centric extraction.\n";
+  return 0;
+}

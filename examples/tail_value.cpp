@@ -1,0 +1,47 @@
+// Tail-value study (paper §4): generates one year of synthetic search and
+// browse logs for Amazon, Yelp and IMDb, estimates per-entity demand by
+// the unique-cookie procedure, and prints the demand curves and the
+// relative value-add VA(n)/VA(0) of one more review.
+//
+//   ./build/examples/tail_value
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "util/string_util.h"
+
+int main() {
+  wsd::StudyOptions options;
+  options.scale = 0.15;  // traffic populations shrink accordingly
+  options.seed = 4;
+  wsd::Study study(options);
+
+  const wsd::TrafficSite sites[] = {wsd::TrafficSite::kAmazon,
+                                    wsd::TrafficSite::kYelp,
+                                    wsd::TrafficSite::kImdb};
+  for (wsd::TrafficSite site : sites) {
+    auto result = study.RunValueStudy(site);
+    if (!result.ok()) {
+      std::cerr << "value study failed: " << result.status() << "\n";
+      return 1;
+    }
+    std::cout << "=== " << wsd::TrafficSiteName(site) << " ===\n"
+              << "log events: " << result->demand.events_consumed
+              << " (skipped " << result->demand.events_skipped
+              << " non-entity URLs)\n"
+              << "top-20% of inventory accounts for "
+              << wsd::FormatPct(result->head20_search) << " of search and "
+              << wsd::FormatPct(result->head20_browse)
+              << " of browse demand\n\n";
+    wsd::PrintValueAddBins("demand and value-add by review-count bin",
+                           result->bins, std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading the tables (paper §4.3.2): for Yelp and Amazon "
+               "VA(n)/VA(0) falls as n\ngrows — availability decays faster "
+               "than demand toward the tail, so one more\nextracted review "
+               "is worth MORE for tail entities. IMDb's curve is humped.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+
+namespace wsd {
+
+StatusOr<BootstrapResult> RunBootstrap(const BipartiteGraph& graph,
+                                       const std::vector<uint32_t>& seeds) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("bootstrap needs at least one seed");
+  }
+  for (uint32_t seed : seeds) {
+    if (seed >= graph.num_entities()) {
+      return Status::InvalidArgument("seed entity id out of range");
+    }
+  }
+
+  std::vector<bool> entity_known(graph.num_entities(), false);
+  std::vector<bool> site_known(graph.num_sites(), false);
+
+  BootstrapResult result;
+  std::vector<uint32_t> frontier;  // newly adopted entities
+  for (uint32_t seed : seeds) {
+    if (!entity_known[seed]) {
+      entity_known[seed] = true;
+      ++result.entities_found;
+      frontier.push_back(seed);
+    }
+  }
+  result.entities_per_iteration.push_back(result.entities_found);
+  result.sites_per_iteration.push_back(0);
+
+  while (!frontier.empty()) {
+    // Discover all sites covering any frontier entity (e.g. via a search
+    // engine query for the identifying attribute)...
+    std::vector<uint32_t> new_sites;
+    for (uint32_t e : frontier) {
+      for (uint32_t s : graph.SitesOf(e)) {
+        if (!site_known[s]) {
+          site_known[s] = true;
+          ++result.sites_found;
+          new_sites.push_back(s);
+        }
+      }
+    }
+    // ...then extract every entity those sites cover.
+    frontier.clear();
+    for (uint32_t s : new_sites) {
+      for (uint32_t e : graph.EntitiesOf(s)) {
+        if (!entity_known[e]) {
+          entity_known[e] = true;
+          ++result.entities_found;
+          frontier.push_back(e);
+        }
+      }
+    }
+    if (new_sites.empty() && frontier.empty()) break;
+    ++result.iterations;
+    result.entities_per_iteration.push_back(result.entities_found);
+    result.sites_per_iteration.push_back(result.sites_found);
+    if (frontier.empty()) break;
+  }
+
+  if (graph.num_covered_entities() > 0) {
+    // Seeds with zero degree count as found but are not "covered"; recall
+    // is over covered entities only.
+    uint32_t found_covered = 0;
+    for (uint32_t e = 0; e < graph.num_entities(); ++e) {
+      if (entity_known[e] && graph.EntityDegree(e) > 0) ++found_covered;
+    }
+    result.entity_recall =
+        static_cast<double>(found_covered) /
+        static_cast<double>(graph.num_covered_entities());
+  }
+  return result;
+}
+
+StatusOr<BootstrapTrialStats> BootstrapRandomSeeds(
+    const BipartiteGraph& graph, uint32_t seed_count, uint32_t trials,
+    Rng& rng) {
+  if (seed_count == 0 || trials == 0) {
+    return Status::InvalidArgument("seed_count and trials must be >= 1");
+  }
+  // Candidate pool: covered entities (a practitioner seeds from a known
+  // database row that exists on the Web).
+  std::vector<uint32_t> covered;
+  covered.reserve(graph.num_covered_entities());
+  for (uint32_t e = 0; e < graph.num_entities(); ++e) {
+    if (graph.EntityDegree(e) > 0) covered.push_back(e);
+  }
+  if (covered.size() < seed_count) {
+    return Status::FailedPrecondition("not enough covered entities");
+  }
+
+  const ComponentSummary components = AnalyzeComponents(graph);
+  const double giant_entities =
+      static_cast<double>(components.largest_component_entities);
+
+  BootstrapTrialStats stats;
+  stats.trials = trials;
+  std::vector<uint32_t> seeds(seed_count);
+  for (uint32_t t = 0; t < trials; ++t) {
+    for (uint32_t i = 0; i < seed_count; ++i) {
+      seeds[i] = covered[rng.Index(covered.size())];
+    }
+    auto result = RunBootstrap(graph, seeds);
+    if (!result.ok()) return result.status();
+    stats.iterations.Add(static_cast<double>(result->iterations));
+    stats.recall.Add(result->entity_recall);
+    if (static_cast<double>(result->entities_found) >=
+        0.99 * giant_entities) {
+      ++stats.trials_reaching_giant;
+    }
+  }
+  return stats;
+}
+
+}  // namespace wsd

@@ -1,0 +1,47 @@
+#include "core/connectivity.h"
+
+#include "graph/components.h"
+#include "graph/diameter.h"
+
+namespace wsd {
+
+StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
+                                              const HostEntityTable& table,
+                                              uint32_t num_entities) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  const BipartiteGraph graph =
+      BipartiteGraph::FromHostTable(table, num_entities);
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+
+  GraphMetricsRow row;
+  row.domain = domain;
+  row.attr = attr;
+  row.avg_sites_per_entity = graph.AvgSitesPerEntity();
+  row.num_covered_entities = graph.num_covered_entities();
+  row.num_sites = graph.num_sites();
+  row.num_edges = graph.num_edges();
+
+  const ComponentSummary comps = AnalyzeComponents(graph);
+  row.num_components = comps.num_components;
+  row.largest_component_entity_pct =
+      comps.largest_component_entity_fraction * 100.0;
+
+  const DiameterResult diameter = ExactDiameter(graph);
+  row.diameter = diameter.diameter;
+  row.diameter_bfs_runs = diameter.bfs_runs;
+  return row;
+}
+
+std::vector<RobustnessPoint> ComputeRobustness(const HostEntityTable& table,
+                                               uint32_t num_entities,
+                                               uint32_t max_removed) {
+  const BipartiteGraph graph =
+      BipartiteGraph::FromHostTable(table, num_entities);
+  return RobustnessSweep(graph, max_removed);
+}
+
+}  // namespace wsd

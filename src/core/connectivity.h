@@ -1,0 +1,44 @@
+#ifndef WSD_CORE_CONNECTIVITY_H_
+#define WSD_CORE_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "entity/domains.h"
+#include "extract/host_table.h"
+#include "graph/bipartite.h"
+#include "graph/robustness.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// One row of Table 2, computed from a scanned host table.
+struct GraphMetricsRow {
+  Domain domain = Domain::kRestaurants;
+  Attribute attr = Attribute::kPhone;
+  double avg_sites_per_entity = 0.0;
+  uint32_t diameter = 0;
+  uint32_t num_components = 0;
+  double largest_component_entity_pct = 0.0;  // e.g. 99.96
+  uint32_t num_covered_entities = 0;
+  uint32_t num_sites = 0;
+  uint64_t num_edges = 0;
+  uint32_t diameter_bfs_runs = 0;  // cost of the iFUB computation
+};
+
+/// Computes the full Table 2 row: builds the bipartite graph, analyzes
+/// components and runs the exact-diameter algorithm on the largest one.
+StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
+                                              const HostEntityTable& table,
+                                              uint32_t num_entities);
+
+/// The Fig 9 sweep on the same graph (fractions of covered entities in
+/// the largest component after removing the top k = 0..max_removed
+/// sites).
+std::vector<RobustnessPoint> ComputeRobustness(const HostEntityTable& table,
+                                               uint32_t num_entities,
+                                               uint32_t max_removed = 10);
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_CONNECTIVITY_H_

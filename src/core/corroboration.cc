@@ -1,0 +1,93 @@
+#include "core/corroboration.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace wsd {
+
+namespace {
+
+// Stable uniform in [0,1) from a hash stream (independent of visit
+// order, so the same (site, entity) report is identical at every t).
+double HashUniform(uint64_t a, uint64_t b, uint64_t c) {
+  const uint64_t h = MixHash64(HashCombine(HashCombine(a, b), c));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+StatusOr<std::vector<CorroborationPoint>> SimulateCorroboration(
+    const HostEntityTable& table, uint32_t num_entities,
+    const CorroborationOptions& options, std::vector<uint32_t> t_values,
+    uint64_t seed) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  if (options.min_site_error < 0.0 || options.max_site_error > 1.0 ||
+      options.min_site_error > options.max_site_error) {
+    return Status::InvalidArgument("error-rate range invalid");
+  }
+  if (options.min_sources == 0) {
+    return Status::InvalidArgument("min_sources must be >= 1");
+  }
+  for (size_t i = 0; i < t_values.size(); ++i) {
+    if (t_values[i] == 0 || (i > 0 && t_values[i] <= t_values[i - 1])) {
+      return Status::InvalidArgument(
+          "t_values must be positive and strictly increasing");
+    }
+  }
+
+  const std::vector<uint32_t> order = table.HostsBySizeDesc();
+  std::vector<uint16_t> correct(num_entities, 0);
+  std::vector<uint16_t> wrong(num_entities, 0);
+
+  std::vector<CorroborationPoint> points;
+  points.reserve(t_values.size());
+  const double denom = static_cast<double>(num_entities);
+
+  size_t next_t = 0;
+  for (uint32_t rank = 0;
+       rank < order.size() && next_t < t_values.size(); ++rank) {
+    const HostRecord& host = table.host(order[rank]);
+    // Per-site error rate from a stable stream keyed by the host name.
+    const uint64_t site_key = Fnv1a64(host.host, seed);
+    const double error_rate =
+        options.min_site_error +
+        (options.max_site_error - options.min_site_error) *
+            HashUniform(seed, site_key, 0);
+    for (const EntityPages& ep : host.entities) {
+      if (ep.entity >= num_entities) continue;
+      const bool is_wrong =
+          HashUniform(seed ^ 0xc0ffee, site_key, ep.entity) < error_rate;
+      auto& counter = is_wrong ? wrong[ep.entity] : correct[ep.entity];
+      if (counter < UINT16_MAX) ++counter;
+    }
+    while (next_t < t_values.size() && t_values[next_t] == rank + 1) {
+      CorroborationPoint point;
+      point.top_t = t_values[next_t];
+      uint64_t covered = 0, resolved = 0;
+      for (uint32_t e = 0; e < num_entities; ++e) {
+        const uint32_t sources = correct[e] + wrong[e];
+        if (sources < options.min_sources) continue;
+        ++covered;
+        if (correct[e] > wrong[e]) ++resolved;
+      }
+      point.covered_fraction = static_cast<double>(covered) / denom;
+      point.correct_fraction = static_cast<double>(resolved) / denom;
+      points.push_back(point);
+      ++next_t;
+    }
+  }
+  // t values beyond the web saturate.
+  while (next_t < t_values.size()) {
+    CorroborationPoint point =
+        points.empty() ? CorroborationPoint{} : points.back();
+    point.top_t = t_values[next_t];
+    points.push_back(point);
+    ++next_t;
+  }
+  return points;
+}
+
+}  // namespace wsd

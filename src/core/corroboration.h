@@ -1,0 +1,58 @@
+#ifndef WSD_CORE_CORROBORATION_H_
+#define WSD_CORE_CORROBORATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/host_table.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Quantifies why the paper studies k-coverage for k > 1 (§2: "What if we
+/// want some redundancy in the data sources to overcome errors introduced
+/// by a single source (e.g., mistakes in the underlying database or noise
+/// in the extraction)?" and §3.3: "one may be looking for a piece of
+/// information from k different sources to place a high confidence in the
+/// extraction").
+///
+/// Model: each site reports an entity's closed attribute value; a site is
+/// wrong about a given entity independently with a per-site error rate
+/// drawn once from [min_error, max_error] (some sources are sloppier than
+/// others). An extraction system that reads the top-t sites resolves each
+/// entity by majority vote over the sites that cover it (ties broken
+/// pessimistically). The resolved value is correct iff correct reports
+/// strictly outnumber wrong ones.
+struct CorroborationOptions {
+  double min_site_error = 0.01;
+  double max_site_error = 0.25;
+  /// Resolve only entities covered by at least `min_sources` of the
+  /// top-t sites (1 = resolve from any single source).
+  uint32_t min_sources = 1;
+};
+
+/// One point of the accuracy curve.
+struct CorroborationPoint {
+  uint32_t top_t = 0;
+  /// Fraction of database entities that are covered by >= min_sources of
+  /// the top-t sites AND resolve to the correct value.
+  double correct_fraction = 0.0;
+  /// Fraction merely covered by >= min_sources (the k-coverage value);
+  /// correct_fraction <= covered_fraction, and the gap is the voting
+  /// error.
+  double covered_fraction = 0.0;
+};
+
+/// Simulates the vote at each t in `t_values` (strictly increasing).
+/// Deterministic in `seed`; per-site error rates and per-(site, entity)
+/// report correctness are drawn from stable hash streams so the same
+/// site/entity pair reports identically at every t.
+StatusOr<std::vector<CorroborationPoint>> SimulateCorroboration(
+    const HostEntityTable& table, uint32_t num_entities,
+    const CorroborationOptions& options, std::vector<uint32_t> t_values,
+    uint64_t seed);
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_CORROBORATION_H_

@@ -1,0 +1,84 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+
+namespace wsd {
+
+StatusOr<CoverageCurve> ComputeKCoverage(const HostEntityTable& table,
+                                         uint32_t num_entities,
+                                         uint32_t max_k,
+                                         std::vector<uint32_t> t_values) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  if (max_k == 0 || max_k > 64) {
+    return Status::InvalidArgument("max_k must be in [1, 64]");
+  }
+  for (size_t i = 0; i < t_values.size(); ++i) {
+    if (t_values[i] == 0 ||
+        (i > 0 && t_values[i] <= t_values[i - 1])) {
+      return Status::InvalidArgument(
+          "t_values must be positive and strictly increasing");
+    }
+  }
+
+  CoverageCurve curve;
+  curve.t_values = std::move(t_values);
+  curve.num_entities = num_entities;
+  curve.num_sites = static_cast<uint32_t>(table.num_hosts());
+  curve.k_coverage.assign(max_k,
+                          std::vector<double>(curve.t_values.size(), 0.0));
+
+  const std::vector<uint32_t> order = table.HostsBySizeDesc();
+
+  // counts[e] = sites among the processed prefix containing e, saturated
+  // at max_k; ge[k-1] = #entities with counts >= k.
+  std::vector<uint8_t> counts(num_entities, 0);
+  std::vector<uint64_t> ge(max_k, 0);
+
+  size_t next_t = 0;
+  const double denom = static_cast<double>(num_entities);
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    for (const EntityPages& ep : table.host(order[rank]).entities) {
+      if (ep.entity >= num_entities) continue;  // defensive: stale table
+      uint8_t& c = counts[ep.entity];
+      if (c < max_k) {
+        ++ge[c];  // entity crosses the (c+1)-coverage threshold
+        ++c;
+      }
+    }
+    while (next_t < curve.t_values.size() &&
+           curve.t_values[next_t] == rank + 1) {
+      for (uint32_t k = 0; k < max_k; ++k) {
+        curve.k_coverage[k][next_t] = static_cast<double>(ge[k]) / denom;
+      }
+      ++next_t;
+    }
+  }
+  // t beyond the available sites: saturate at the full-web value.
+  while (next_t < curve.t_values.size()) {
+    for (uint32_t k = 0; k < max_k; ++k) {
+      curve.k_coverage[k][next_t] = static_cast<double>(ge[k]) / denom;
+    }
+    ++next_t;
+  }
+  return curve;
+}
+
+std::vector<uint32_t> DefaultCoverageTValues(uint32_t max_sites) {
+  // 1, 2, 5 pattern per decade up to 10^4 (the paper's log axes), capped
+  // at the web's actual size.
+  std::vector<uint32_t> values;
+  for (uint32_t decade = 1; decade <= 10000; decade *= 10) {
+    for (uint32_t m : {1u, 2u, 5u}) {
+      const uint32_t t = decade * m;
+      if (t <= max_sites && t <= 100000) values.push_back(t);
+    }
+  }
+  if (values.empty() || values.back() != max_sites) {
+    if (max_sites > 0) values.push_back(max_sites);
+  }
+  return values;
+}
+
+}  // namespace wsd

@@ -1,0 +1,161 @@
+#include "core/demand_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/histogram.h"
+
+namespace wsd {
+
+std::vector<DemandCurvePoint> CumulativeDemandCurve(
+    const std::vector<double>& demand, int num_points) {
+  std::vector<double> sorted = demand;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double total = 0.0;
+  for (double d : sorted) total += d;
+
+  std::vector<DemandCurvePoint> curve;
+  curve.reserve(static_cast<size_t>(num_points) + 1);
+  if (sorted.empty() || total <= 0.0) return curve;
+
+  double running = 0.0;
+  size_t idx = 0;
+  for (int p = 1; p <= num_points; ++p) {
+    const double frac = static_cast<double>(p) / num_points;
+    const size_t target = static_cast<size_t>(
+        frac * static_cast<double>(sorted.size()) + 0.5);
+    while (idx < target && idx < sorted.size()) running += sorted[idx++];
+    curve.push_back({frac, running / total});
+  }
+  return curve;
+}
+
+double HeadDemandShare(const std::vector<double>& demand, double fraction) {
+  std::vector<double> sorted = demand;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double total = 0.0;
+  for (double d : sorted) total += d;
+  if (sorted.empty() || total <= 0.0) return 0.0;
+  const size_t head = static_cast<size_t>(
+      fraction * static_cast<double>(sorted.size()) + 0.5);
+  double head_total = 0.0;
+  for (size_t i = 0; i < head && i < sorted.size(); ++i) {
+    head_total += sorted[i];
+  }
+  return head_total / total;
+}
+
+std::vector<RankDemandPoint> RankDemandCurve(
+    const std::vector<double>& demand, int num_points) {
+  std::vector<double> sorted = demand;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::vector<RankDemandPoint> curve;
+  if (sorted.empty() || sorted[0] <= 0.0) return curve;
+  curve.reserve(static_cast<size_t>(num_points));
+  const double n = static_cast<double>(sorted.size());
+  // Log-spaced ranks from 1 to n.
+  for (int p = 0; p < num_points; ++p) {
+    const double frac = static_cast<double>(p) / (num_points - 1);
+    const size_t rank = static_cast<size_t>(
+        std::pow(n, frac));  // 1 .. n, log-spaced
+    const size_t idx = std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1);
+    curve.push_back({static_cast<double>(idx + 1) / n,
+                     sorted[idx] / sorted[0]});
+  }
+  return curve;
+}
+
+namespace {
+
+// Z-scores of `values` (population stddev). All-equal input z-scores to 0.
+std::vector<double> ZScores(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  const double sd = stats.stddev();
+  std::vector<double> z(values.size(), 0.0);
+  if (sd <= 0.0) return z;
+  for (size_t i = 0; i < values.size(); ++i) {
+    z[i] = (values[i] - stats.mean()) / sd;
+  }
+  return z;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAdd(
+    const DemandTable& demand, const std::vector<uint32_t>& reviews,
+    int max_bucket) {
+  ValueAddOptions options;
+  options.max_bucket = max_bucket;
+  return AnalyzeValueAddWithOptions(demand, reviews, options);
+}
+
+StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAddWithOptions(
+    const DemandTable& demand, const std::vector<uint32_t>& reviews,
+    const ValueAddOptions& options) {
+  const int max_bucket = options.max_bucket;
+  if (reviews.size() != demand.search_demand.size() ||
+      reviews.size() != demand.browse_demand.size()) {
+    return Status::InvalidArgument(
+        "reviews and demand tables disagree on entity count");
+  }
+  if (reviews.empty()) {
+    return Status::InvalidArgument("empty population");
+  }
+
+  const std::vector<double> search_z = ZScores(demand.search_demand);
+  const std::vector<double> browse_z = ZScores(demand.browse_demand);
+
+  const Log2Histogram binner(max_bucket);
+  const int num_bins = binner.num_buckets();
+  std::vector<uint64_t> count(num_bins, 0);
+  std::vector<double> sum_sz(num_bins, 0.0), sum_bz(num_bins, 0.0);
+  std::vector<double> sum_va_s(num_bins, 0.0), sum_va_b(num_bins, 0.0);
+
+  for (size_t i = 0; i < reviews.size(); ++i) {
+    const int b = binner.BucketOf(reviews[i]);
+    ++count[b];
+    sum_sz[b] += search_z[i];
+    sum_bz[b] += browse_z[i];
+    double info = 1.0 / (1.0 + static_cast<double>(reviews[i]));
+    if (options.decay == ValueAddOptions::InfoDecay::kStepAtCutoff &&
+        reviews[i] >= options.step_cutoff) {
+      info = 0.0;  // a user reads no more than step_cutoff reviews
+    }
+    sum_va_s[b] += demand.search_demand[i] * info;
+    sum_va_b[b] += demand.browse_demand[i] * info;
+  }
+
+  if (count[0] == 0) {
+    return Status::FailedPrecondition(
+        "no zero-review entities; VA(0) undefined");
+  }
+  const double va0_s = sum_va_s[0] / static_cast<double>(count[0]);
+  const double va0_b = sum_va_b[0] / static_cast<double>(count[0]);
+  if (va0_s <= 0.0 && va0_b <= 0.0) {
+    return Status::FailedPrecondition(
+        "zero demand among zero-review entities; VA(0) is 0");
+  }
+
+  std::vector<ReviewBinStat> bins;
+  bins.reserve(static_cast<size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    ReviewBinStat stat;
+    stat.label = binner.BucketLabel(b);
+    auto [lo, hi] = binner.BucketRange(b);
+    stat.review_lo = lo;
+    stat.review_hi = hi;
+    stat.num_entities = count[b];
+    if (count[b] > 0) {
+      const double n = static_cast<double>(count[b]);
+      stat.mean_search_z = sum_sz[b] / n;
+      stat.mean_browse_z = sum_bz[b] / n;
+      stat.rel_va_search = va0_s > 0.0 ? (sum_va_s[b] / n) / va0_s : 0.0;
+      stat.rel_va_browse = va0_b > 0.0 ? (sum_va_b[b] / n) / va0_b : 0.0;
+    }
+    bins.push_back(std::move(stat));
+  }
+  return bins;
+}
+
+}  // namespace wsd

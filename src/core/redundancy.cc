@@ -1,0 +1,96 @@
+#include "core/redundancy.h"
+
+#include <algorithm>
+
+namespace wsd {
+
+namespace {
+
+// |a ∩ b| for two entity lists sorted by id.
+uint64_t SortedIntersectionSize(const std::vector<EntityPages>& a,
+                                const std::vector<EntityPages>& b) {
+  uint64_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].entity < b[j].entity) {
+      ++i;
+    } else if (a[i].entity > b[j].entity) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+StatusOr<RedundancyReport> AnalyzeRedundancy(const HostEntityTable& table,
+                                             uint32_t num_entities,
+                                             uint32_t head_sites) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  if (table.TotalEdges() == 0) {
+    return Status::FailedPrecondition("host table has no entities");
+  }
+
+  RedundancyReport report;
+
+  // Within-site: pages per (site, entity) pair.
+  std::vector<uint32_t> site_count(num_entities, 0);
+  for (const HostRecord& host : table.hosts()) {
+    for (const EntityPages& ep : host.entities) {
+      report.pages_per_mention.Add(static_cast<double>(ep.pages));
+      if (ep.entity < num_entities) ++site_count[ep.entity];
+    }
+  }
+
+  // Cross-site: sites per covered entity and the >= k availability curve.
+  uint64_t covered = 0;
+  std::vector<uint64_t> at_least(10, 0);
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    if (site_count[e] == 0) continue;
+    ++covered;
+    report.sites_per_entity.Add(static_cast<double>(site_count[e]));
+    for (uint32_t k = 1; k <= 10; ++k) {
+      if (site_count[e] >= k) ++at_least[k - 1];
+    }
+  }
+  report.fraction_with_at_least.resize(10);
+  for (uint32_t k = 0; k < 10; ++k) {
+    report.fraction_with_at_least[k] =
+        covered == 0 ? 0.0
+                     : static_cast<double>(at_least[k]) /
+                           static_cast<double>(covered);
+  }
+
+  // Head overlap: mean pairwise Jaccard among the largest sites.
+  const auto order = table.HostsBySizeDesc();
+  const uint32_t h =
+      std::min<uint32_t>(head_sites, static_cast<uint32_t>(order.size()));
+  report.head_sites_compared = h;
+  if (h >= 2) {
+    double total = 0.0;
+    uint64_t pairs = 0;
+    for (uint32_t i = 0; i < h; ++i) {
+      const auto& a = table.host(order[i]).entities;
+      for (uint32_t j = i + 1; j < h; ++j) {
+        const auto& b = table.host(order[j]).entities;
+        const uint64_t common = SortedIntersectionSize(a, b);
+        const uint64_t uni = a.size() + b.size() - common;
+        if (uni > 0) {
+          total += static_cast<double>(common) / static_cast<double>(uni);
+        }
+        ++pairs;
+      }
+    }
+    report.head_pairwise_jaccard =
+        pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+  }
+  return report;
+}
+
+}  // namespace wsd

@@ -1,0 +1,44 @@
+#ifndef WSD_CORE_REDUNDANCY_H_
+#define WSD_CORE_REDUNDANCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/host_table.h"
+#include "util/histogram.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Quantifies the paper's third conclusion: "structural redundancy within
+/// websites, content redundancy across websites, and entity-source
+/// connectivity together can be leveraged to develop effective techniques
+/// for domain-centric information extraction" (§1). The paper asserts the
+/// redundancy; this module measures it on a scanned host table.
+struct RedundancyReport {
+  /// Within-site structural redundancy: pages per (site, entity) mention
+  /// — how many pages of the same site repeat an entity's identifier.
+  RunningStats pages_per_mention;
+
+  /// Cross-site content redundancy: sites per covered entity (k-coverage
+  /// availability). fraction_with_at_least[k-1] = fraction of covered
+  /// entities on >= k sites, k = 1..10.
+  RunningStats sites_per_entity;
+  std::vector<double> fraction_with_at_least;
+
+  /// Head-site overlap: mean pairwise Jaccard similarity of the entity
+  /// sets of the `head_sites_compared` largest sites. High overlap is
+  /// what makes corroboration (§3.3's k > 1) and set expansion (§5) work.
+  double head_pairwise_jaccard = 0.0;
+  uint32_t head_sites_compared = 0;
+};
+
+/// Computes the report. `head_sites` bounds the O(h^2) overlap step
+/// (default 20 sites = 190 pairs). Fails on an empty table.
+StatusOr<RedundancyReport> AnalyzeRedundancy(const HostEntityTable& table,
+                                             uint32_t num_entities,
+                                             uint32_t head_sites = 20);
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_REDUNDANCY_H_

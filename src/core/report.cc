@@ -1,0 +1,142 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatPct(double fraction) {
+  return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+std::string FormatF(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+void PrintCoverageCurve(const std::string& title, const CoverageCurve& curve,
+                        std::ostream& out) {
+  out << title << "\n";
+  std::vector<std::string> header = {"top-t sites"};
+  for (size_t k = 0; k < curve.k_coverage.size(); ++k) {
+    header.push_back(StrFormat("k=%zu", k + 1));
+  }
+  TextTable table(std::move(header));
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(curve.t_values[i])};
+    for (size_t k = 0; k < curve.k_coverage.size(); ++k) {
+      row.push_back(FormatPct(curve.k_coverage[k][i]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(out);
+}
+
+void PrintPageCoverage(const std::string& title,
+                       const PageCoverageCurve& curve, std::ostream& out) {
+  out << title << "  (total review pages: " << curve.total_pages << ")\n";
+  TextTable table({"top-t sites", "% of review pages"});
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    table.AddRow({std::to_string(curve.t_values[i]),
+                  FormatPct(curve.page_fraction[i])});
+  }
+  table.Print(out);
+}
+
+void PrintSetCover(const std::string& title, const SetCoverCurve& curve,
+                   std::ostream& out) {
+  out << title << "\n";
+  TextTable table({"top-t sites", "greedy set cover", "ordered by size",
+                   "improvement"});
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    table.AddRow(
+        {std::to_string(curve.t_values[i]),
+         FormatPct(curve.greedy_coverage[i]),
+         FormatPct(curve.size_coverage[i]),
+         StrFormat("%+.2fpp", (curve.greedy_coverage[i] -
+                               curve.size_coverage[i]) *
+                                  100.0)});
+  }
+  table.Print(out);
+}
+
+void PrintGraphMetrics(const std::vector<GraphMetricsRow>& rows,
+                       std::ostream& out) {
+  TextTable table({"Domain", "Attr", "Avg #sites/entity", "diameter",
+                   "# conn. comp.", "% entities in largest comp."});
+  for (const GraphMetricsRow& row : rows) {
+    table.AddRow({std::string(DomainName(row.domain)),
+                  std::string(AttributeName(row.attr)),
+                  FormatF(row.avg_sites_per_entity, 1),
+                  std::to_string(row.diameter),
+                  std::to_string(row.num_components),
+                  FormatF(row.largest_component_entity_pct, 2)});
+  }
+  table.Print(out);
+}
+
+void PrintRobustness(const std::string& title,
+                     const std::vector<RobustnessPoint>& points,
+                     std::ostream& out) {
+  out << title << "\n";
+  TextTable table({"top-k sites removed", "# conn. comp.",
+                   "% entities in largest comp."});
+  for (const RobustnessPoint& p : points) {
+    table.AddRow({std::to_string(p.removed_sites),
+                  std::to_string(p.num_components),
+                  FormatPct(p.largest_component_entity_fraction)});
+  }
+  table.Print(out);
+}
+
+void PrintValueAddBins(const std::string& title,
+                       const std::vector<ReviewBinStat>& bins,
+                       std::ostream& out) {
+  out << title << "\n";
+  TextTable table({"#reviews (n)", "#entities", "demand z (search)",
+                   "demand z (browse)", "VA(n)/VA(0) search",
+                   "VA(n)/VA(0) browse"});
+  for (const ReviewBinStat& bin : bins) {
+    table.AddRow({bin.label, std::to_string(bin.num_entities),
+                  FormatF(bin.mean_search_z, 3),
+                  FormatF(bin.mean_browse_z, 3),
+                  FormatF(bin.rel_va_search, 3),
+                  FormatF(bin.rel_va_browse, 3)});
+  }
+  table.Print(out);
+}
+
+}  // namespace wsd

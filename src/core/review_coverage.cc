@@ -1,0 +1,44 @@
+#include "core/review_coverage.h"
+
+namespace wsd {
+
+StatusOr<PageCoverageCurve> ComputePageCoverage(
+    const HostEntityTable& table, std::vector<uint32_t> t_values) {
+  for (size_t i = 0; i < t_values.size(); ++i) {
+    if (t_values[i] == 0 || (i > 0 && t_values[i] <= t_values[i - 1])) {
+      return Status::InvalidArgument(
+          "t_values must be positive and strictly increasing");
+    }
+  }
+  PageCoverageCurve curve;
+  curve.t_values = std::move(t_values);
+  curve.page_fraction.assign(curve.t_values.size(), 0.0);
+  curve.total_pages = table.TotalEntityPages();
+  if (curve.total_pages == 0) {
+    return Status::FailedPrecondition(
+        "host table has no entity pages (was this a review scan?)");
+  }
+
+  const std::vector<uint32_t> order = table.HostsBySizeDesc();
+  const double denom = static_cast<double>(curve.total_pages);
+  uint64_t pages_so_far = 0;
+  size_t next_t = 0;
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    for (const EntityPages& ep : table.host(order[rank]).entities) {
+      pages_so_far += ep.pages;
+    }
+    while (next_t < curve.t_values.size() &&
+           curve.t_values[next_t] == rank + 1) {
+      curve.page_fraction[next_t] =
+          static_cast<double>(pages_so_far) / denom;
+      ++next_t;
+    }
+  }
+  while (next_t < curve.t_values.size()) {
+    curve.page_fraction[next_t] = static_cast<double>(pages_so_far) / denom;
+    ++next_t;
+  }
+  return curve;
+}
+
+}  // namespace wsd

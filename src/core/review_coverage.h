@@ -1,0 +1,30 @@
+#ifndef WSD_CORE_REVIEW_COVERAGE_H_
+#define WSD_CORE_REVIEW_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/host_table.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Fig 4(b): "the total number of all the webpages on the Web that
+/// contain a restaurant review. Then, we can look at the fraction of those
+/// webpages covered by the top-n sites as a function of n." Unlike
+/// k-coverage there is a single curve. Sites are ordered by entity count
+/// (the §3.3 ordering), and each site contributes its review *pages*.
+struct PageCoverageCurve {
+  std::vector<uint32_t> t_values;
+  std::vector<double> page_fraction;  // of all review pages on the web
+  uint64_t total_pages = 0;
+};
+
+/// Computes the page-level curve from a review scan's host table (where
+/// EntityPages::pages counts review pages).
+StatusOr<PageCoverageCurve> ComputePageCoverage(
+    const HostEntityTable& table, std::vector<uint32_t> t_values);
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_REVIEW_COVERAGE_H_

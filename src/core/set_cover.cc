@@ -1,0 +1,97 @@
+#include "core/set_cover.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/coverage.h"
+
+namespace wsd {
+
+StatusOr<SetCoverCurve> GreedySetCover(const HostEntityTable& table,
+                                       uint32_t num_entities,
+                                       std::vector<uint32_t> t_values) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be positive");
+  }
+  for (size_t i = 0; i < t_values.size(); ++i) {
+    if (t_values[i] == 0 || (i > 0 && t_values[i] <= t_values[i - 1])) {
+      return Status::InvalidArgument(
+          "t_values must be positive and strictly increasing");
+    }
+  }
+
+  SetCoverCurve curve;
+  curve.num_entities = num_entities;
+  curve.t_values = std::move(t_values);
+  curve.greedy_coverage.assign(curve.t_values.size(), 0.0);
+  curve.size_coverage.assign(curve.t_values.size(), 0.0);
+
+  // Baseline: 1-coverage under size ordering.
+  {
+    auto baseline = ComputeKCoverage(table, num_entities, /*max_k=*/1,
+                                     curve.t_values);
+    if (!baseline.ok()) return baseline.status();
+    curve.size_coverage = baseline->k_coverage[0];
+  }
+
+  // Lazy greedy: entries are (gain, host); a popped entry whose cached
+  // gain is stale (covered set grew since it was pushed) is re-scored and
+  // re-pushed. Gains are monotonically non-increasing, so the first entry
+  // whose fresh gain matches its cached gain is the true maximum.
+  const uint32_t num_hosts = static_cast<uint32_t>(table.num_hosts());
+  const uint32_t max_t =
+      curve.t_values.empty() ? 0 : curve.t_values.back();
+
+  std::priority_queue<std::pair<uint64_t, uint32_t>> heap;
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    heap.emplace(table.host(h).entities.size(), h);
+  }
+
+  std::vector<bool> covered(num_entities, false);
+  uint64_t covered_count = 0;
+  const double denom = static_cast<double>(num_entities);
+
+  auto fresh_gain = [&](uint32_t h) {
+    uint64_t gain = 0;
+    for (const EntityPages& ep : table.host(h).entities) {
+      if (ep.entity < num_entities && !covered[ep.entity]) ++gain;
+    }
+    return gain;
+  };
+
+  size_t next_t = 0;
+  uint32_t picked = 0;
+  while (picked < std::min(max_t, num_hosts) && !heap.empty()) {
+    auto [cached_gain, h] = heap.top();
+    heap.pop();
+    const uint64_t gain = fresh_gain(h);
+    if (gain != cached_gain) {
+      if (gain > 0) heap.emplace(gain, h);
+      // Zero-gain sites are dropped: picking them cannot help, and with
+      // an empty heap remaining t's saturate below.
+      continue;
+    }
+    for (const EntityPages& ep : table.host(h).entities) {
+      if (ep.entity < num_entities && !covered[ep.entity]) {
+        covered[ep.entity] = true;
+        ++covered_count;
+      }
+    }
+    curve.greedy_order.push_back(h);
+    ++picked;
+    while (next_t < curve.t_values.size() &&
+           curve.t_values[next_t] == picked) {
+      curve.greedy_coverage[next_t] =
+          static_cast<double>(covered_count) / denom;
+      ++next_t;
+    }
+  }
+  while (next_t < curve.t_values.size()) {
+    curve.greedy_coverage[next_t] =
+        static_cast<double>(covered_count) / denom;
+    ++next_t;
+  }
+  return curve;
+}
+
+}  // namespace wsd

@@ -1,0 +1,35 @@
+#ifndef WSD_CORE_SET_COVER_H_
+#define WSD_CORE_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/host_table.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// The Fig 5 "ordering sites by diversity" experiment (§3.4.1): greedy
+/// maximum coverage — at each step pick the site containing the most
+/// still-uncovered entities — versus the default size ordering.
+struct SetCoverCurve {
+  std::vector<uint32_t> t_values;
+  std::vector<double> greedy_coverage;   // 1-coverage of greedy top-t
+  std::vector<double> size_coverage;     // 1-coverage of size-ordered top-t
+  /// Greedy pick order (host indices), length = max(t_values) or the
+  /// point where everything coverable is covered.
+  std::vector<uint32_t> greedy_order;
+  uint32_t num_entities = 0;
+};
+
+/// Runs the greedy approximation (lazy-greedy with a priority queue, the
+/// standard accelerated variant — gains only shrink, so stale entries are
+/// re-evaluated on pop) and the size-ordered baseline. `t_values` as in
+/// ComputeKCoverage.
+StatusOr<SetCoverCurve> GreedySetCover(const HostEntityTable& table,
+                                       uint32_t num_entities,
+                                       std::vector<uint32_t> t_values);
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_SET_COVER_H_

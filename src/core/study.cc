@@ -1,0 +1,180 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  auto parsed = ParseDouble(raw);
+  if (!parsed.has_value()) {
+    WSD_LOG(kWarning) << "ignoring unparseable " << name << "=" << raw;
+    return fallback;
+  }
+  return *parsed;
+}
+
+uint64_t EnvUint(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  auto parsed = ParseUint64(raw);
+  if (!parsed.has_value()) {
+    WSD_LOG(kWarning) << "ignoring unparseable " << name << "=" << raw;
+    return fallback;
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+StudyOptions StudyOptions::FromEnv() {
+  StudyOptions options;
+  options.scale = EnvDouble("WSD_SCALE", options.scale);
+  options.num_entities = static_cast<uint32_t>(
+      EnvUint("WSD_ENTITIES", options.num_entities));
+  options.seed = EnvUint("WSD_SEED", options.seed);
+  options.threads =
+      static_cast<uint32_t>(EnvUint("WSD_THREADS", options.threads));
+  if (options.scale <= 0.0) {
+    WSD_LOG(kWarning) << "WSD_SCALE must be positive; using 1.0";
+    options.scale = 1.0;
+  }
+  return options;
+}
+
+uint32_t StudyOptions::ScaledEntities() const {
+  const double scaled = static_cast<double>(num_entities) * scale;
+  return std::max<uint32_t>(64, static_cast<uint32_t>(scaled));
+}
+
+Study::Study(const StudyOptions& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {}
+
+StatusOr<SyntheticWeb> Study::BuildWeb(Domain domain, Attribute attr) const {
+  SyntheticWeb::Config config;
+  config.domain = domain;
+  config.attr = attr;
+  config.num_entities = options_.ScaledEntities();
+  config.seed = options_.seed;
+  SpreadParams params = DefaultSpreadParams(domain, attr);
+  params.num_sites = std::max<uint32_t>(
+      64, static_cast<uint32_t>(static_cast<double>(params.num_sites) *
+                                options_.scale));
+  config.spread = params;
+  return SyntheticWeb::Create(config);
+}
+
+StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
+  auto web = BuildWeb(domain, attr);
+  if (!web.ok()) return web.status();
+
+  const ReviewDetector* detector = nullptr;
+  if (attr == Attribute::kReviews) {
+    if (!detector_.has_value()) {
+      auto built = ReviewDetector::CreateDefault(options_.seed ^ 0xdecafULL);
+      if (!built.ok()) return built.status();
+      detector_.emplace(std::move(built).value());
+    }
+    detector = &*detector_;
+  }
+  const ScanPipeline pipeline(*web, *pool_, detector);
+  return pipeline.Run();
+}
+
+StatusOr<Study::SpreadResult> Study::RunSpread(Domain domain, Attribute attr,
+                                               uint32_t max_k) {
+  auto scan = RunScan(domain, attr);
+  if (!scan.ok()) return scan.status();
+  auto curve = ComputeKCoverage(
+      scan->table, options_.ScaledEntities(), max_k,
+      DefaultCoverageTValues(
+          static_cast<uint32_t>(scan->table.num_hosts())));
+  if (!curve.ok()) return curve.status();
+  SpreadResult result;
+  result.curve = std::move(curve).value();
+  result.stats = scan->stats;
+  return result;
+}
+
+StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(uint32_t max_k) {
+  auto scan = RunScan(Domain::kRestaurants, Attribute::kReviews);
+  if (!scan.ok()) return scan.status();
+  const auto t_values = DefaultCoverageTValues(
+      static_cast<uint32_t>(scan->table.num_hosts()));
+  auto site_curve = ComputeKCoverage(scan->table, options_.ScaledEntities(),
+                                     max_k, t_values);
+  if (!site_curve.ok()) return site_curve.status();
+  auto page_curve = ComputePageCoverage(scan->table, t_values);
+  if (!page_curve.ok()) return page_curve.status();
+  ReviewSpreadResult result;
+  result.site_curve = std::move(site_curve).value();
+  result.page_curve = std::move(page_curve).value();
+  result.stats = scan->stats;
+  return result;
+}
+
+StatusOr<SetCoverCurve> Study::RunSetCover(Domain domain, Attribute attr) {
+  auto scan = RunScan(domain, attr);
+  if (!scan.ok()) return scan.status();
+  return GreedySetCover(
+      scan->table, options_.ScaledEntities(),
+      DefaultCoverageTValues(
+          static_cast<uint32_t>(scan->table.num_hosts())));
+}
+
+StatusOr<GraphMetricsRow> Study::RunGraphMetrics(Domain domain,
+                                                 Attribute attr) {
+  auto scan = RunScan(domain, attr);
+  if (!scan.ok()) return scan.status();
+  return ComputeGraphMetrics(domain, attr, scan->table,
+                             options_.ScaledEntities());
+}
+
+StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(
+    Domain domain, Attribute attr, uint32_t max_removed) {
+  auto scan = RunScan(domain, attr);
+  if (!scan.ok()) return scan.status();
+  return ComputeRobustness(scan->table, options_.ScaledEntities(),
+                           max_removed);
+}
+
+StatusOr<Study::ValueStudyResult> Study::RunValueStudy(TrafficSite site) {
+  TrafficSiteParams params = DefaultTrafficParams(site);
+  params.num_entities = std::max<uint32_t>(
+      256, static_cast<uint32_t>(static_cast<double>(params.num_entities) *
+                                 options_.scale));
+  const SitePopulation population =
+      BuildPopulation(params, options_.seed ^ 0x7eaf1cULL);
+
+  const TrafficLogOptions log_options;
+  const TrafficLogGenerator generator(population, log_options,
+                                      options_.seed ^ 0x10656e1ULL);
+  DemandEstimator estimator(site, params.num_entities);
+  generator.Generate(TrafficChannel::kSearch,
+                     [&](const VisitEvent& e) { estimator.Consume(e); });
+  generator.Generate(TrafficChannel::kBrowse,
+                     [&](const VisitEvent& e) { estimator.Consume(e); });
+
+  ValueStudyResult result;
+  result.site = site;
+  result.demand = estimator.Finalize();
+  result.reviews = population.reviews;
+  auto bins = AnalyzeValueAdd(result.demand, result.reviews);
+  if (!bins.ok()) return bins.status();
+  result.bins = std::move(bins).value();
+  result.search_curve = CumulativeDemandCurve(result.demand.search_demand);
+  result.browse_curve = CumulativeDemandCurve(result.demand.browse_demand);
+  result.head20_search = HeadDemandShare(result.demand.search_demand, 0.2);
+  result.head20_browse = HeadDemandShare(result.demand.browse_demand, 0.2);
+  return result;
+}
+
+}  // namespace wsd

@@ -1,0 +1,111 @@
+#ifndef WSD_CORE_STUDY_H_
+#define WSD_CORE_STUDY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "core/coverage.h"
+#include "core/demand_analysis.h"
+#include "core/review_coverage.h"
+#include "core/set_cover.h"
+#include "corpus/web_cache.h"
+#include "extract/review_detector.h"
+#include "extract/scan_pipeline.h"
+#include "traffic/demand.h"
+#include "traffic/review_model.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace wsd {
+
+/// Configuration shared by every experiment of the study.
+struct StudyOptions {
+  /// Entities per domain catalog (the paper used millions; analyses are
+  /// scale-stable from ~10^4 up — see tests).
+  uint32_t num_entities = 20000;
+  uint64_t seed = 42;
+  uint32_t threads = 0;  // 0 = hardware concurrency
+  /// Multiplier on num_entities, num_sites and traffic populations. Set
+  /// WSD_SCALE to raise (or shrink) every experiment uniformly.
+  double scale = 1.0;
+
+  /// Reads WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS from the
+  /// environment on top of the defaults.
+  static StudyOptions FromEnv();
+
+  /// num_entities with scale applied.
+  uint32_t ScaledEntities() const;
+};
+
+/// Top-level driver reproducing the paper's experiments. Each Run*
+/// method is self-contained: it builds the synthetic web (or traffic
+/// logs), runs the real extraction/estimation pipeline, and computes the
+/// published analysis. All results are deterministic in
+/// (options.seed, options.scale).
+class Study {
+ public:
+  explicit Study(const StudyOptions& options);
+
+  const StudyOptions& options() const { return options_; }
+  ThreadPool& pool() { return *pool_; }
+
+  /// §3.1 cache scan for one (domain, attribute).
+  StatusOr<ScanResult> RunScan(Domain domain, Attribute attr);
+
+  /// Figures 1-3: scan + k-coverage curves.
+  struct SpreadResult {
+    CoverageCurve curve;
+    ScanStats stats;
+  };
+  StatusOr<SpreadResult> RunSpread(Domain domain, Attribute attr,
+                                   uint32_t max_k = 10);
+
+  /// Figure 4: restaurant review spread, site-level (a) and page-level
+  /// (b).
+  struct ReviewSpreadResult {
+    CoverageCurve site_curve;
+    PageCoverageCurve page_curve;
+    ScanStats stats;
+  };
+  StatusOr<ReviewSpreadResult> RunReviewSpread(uint32_t max_k = 10);
+
+  /// Figure 5: greedy set cover vs. size ordering.
+  StatusOr<SetCoverCurve> RunSetCover(Domain domain, Attribute attr);
+
+  /// Table 2 row for one graph.
+  StatusOr<GraphMetricsRow> RunGraphMetrics(Domain domain, Attribute attr);
+
+  /// Figure 9 sweep for one graph.
+  StatusOr<std::vector<RobustnessPoint>> RunRobustness(
+      Domain domain, Attribute attr, uint32_t max_removed = 10);
+
+  /// §4 value-of-tail-extraction study for one traffic site: generate
+  /// logs, estimate demand from them, and run the Fig 6/7/8 analyses.
+  struct ValueStudyResult {
+    TrafficSite site = TrafficSite::kYelp;
+    DemandTable demand;
+    std::vector<uint32_t> reviews;
+    std::vector<ReviewBinStat> bins;              // Figs 7-8
+    std::vector<DemandCurvePoint> search_curve;   // Fig 6(a)
+    std::vector<DemandCurvePoint> browse_curve;   // Fig 6(c)
+    double head20_search = 0.0;  // top-20% demand share
+    double head20_browse = 0.0;
+  };
+  StatusOr<ValueStudyResult> RunValueStudy(TrafficSite site);
+
+  /// Builds the synthetic web used by the scans (exposed for examples
+  /// and tests that need the ground truth).
+  StatusOr<SyntheticWeb> BuildWeb(Domain domain, Attribute attr) const;
+
+ private:
+  StudyOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::optional<ReviewDetector> detector_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_CORE_STUDY_H_

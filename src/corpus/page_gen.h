@@ -1,0 +1,77 @@
+#ifndef WSD_CORPUS_PAGE_GEN_H_
+#define WSD_CORPUS_PAGE_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "corpus/site_model.h"
+#include "entity/catalog.h"
+#include "entity/domains.h"
+
+namespace wsd {
+
+/// One crawled page: its URL and raw HTML.
+struct Page {
+  std::string url;
+  std::string html;
+};
+
+/// Ground truth attached to a rendered page (used by tests and by the
+/// review-coverage benches to validate the classifier; the extraction
+/// pipeline never sees it).
+struct PageTruth {
+  SiteId site = 0;
+  uint32_t page_index = 0;
+  bool is_review_page = false;  // reviews web only
+};
+
+/// Page rendering knobs.
+struct PageGenOptions {
+  /// Which identifying attribute the pages carry (phone / homepage /
+  /// ISBN), or kReviews for restaurant review pages (which carry phones
+  /// plus review or boilerplate prose).
+  Attribute attr = Attribute::kPhone;
+  /// Mentions per listing page on large (head) and small (tail) sites.
+  uint32_t mentions_per_page_head = 15;
+  uint32_t mentions_per_page_tail = 3;
+  /// Sites with at least this many mentions use head-style listing pages.
+  uint32_t head_site_threshold = 500;
+  /// Probability of a distractor digit-string per rendered mention
+  /// (random order numbers etc. that the extractor must reject).
+  double distractor_prob = 0.3;
+  /// Reviews web: probability that a page about an entity is an actual
+  /// review page (vs. a plain listing page that still shows the phone).
+  double review_fraction = 0.75;
+};
+
+/// Renders the synthetic HTML pages of a site from the ground-truth
+/// site-entity model. Rendering is deterministic per (seed, site) and
+/// independent across sites, so the cache scan can parallelize by host
+/// without materializing the whole web.
+class PageGenerator {
+ public:
+  /// References must outlive the generator.
+  PageGenerator(const DomainCatalog& catalog, const SiteEntityModel& model,
+                const PageGenOptions& options, uint64_t seed);
+
+  /// Renders every page of site `s` in order, invoking `sink` per page.
+  void GeneratePages(
+      SiteId s,
+      const std::function<void(const Page&, const PageTruth&)>& sink) const;
+
+  /// Total pages that would be rendered for site `s` (cheap; no HTML).
+  uint32_t CountPages(SiteId s) const;
+
+  const PageGenOptions& options() const { return options_; }
+
+ private:
+  const DomainCatalog& catalog_;
+  const SiteEntityModel& model_;
+  PageGenOptions options_;
+  uint64_t seed_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_CORPUS_PAGE_GEN_H_

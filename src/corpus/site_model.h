@@ -1,0 +1,133 @@
+#ifndef WSD_CORPUS_SITE_MODEL_H_
+#define WSD_CORPUS_SITE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "entity/catalog.h"
+#include "entity/domains.h"
+#include "extract/host_table.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Index of a website (host) within a model.
+using SiteId = uint32_t;
+
+/// Parameters of the generative entity-site web model — the documented
+/// substitution for the Yahoo! crawl (DESIGN.md).
+///
+/// Site attractiveness is a two-component mixture over generation ranks:
+/// with probability `head_bias` a draw comes from a steep power law
+/// rank^-head_alpha (global aggregators), otherwise from a flat power law
+/// rank^-flat_alpha (the long tail of local directories and blogs). Each
+/// entity draws its number of hosting sites from a discretized LogNormal
+/// with mean `mean_degree` (Table 2's "avg #sites per entity") and
+/// log-space sigma `degree_sigma` (larger = more 1-site local entities,
+/// which widens the k-coverage spread). A small `isolated_fraction` of
+/// entities lives in private pockets of 1-3 fresh tail sites shared by 1-2
+/// entities, producing Table 2's small disconnected components.
+struct SpreadParams {
+  uint32_t num_sites = 12000;  // regular (non-pocket) sites
+  double flat_alpha = 0.7;     // tail attractiveness exponent
+  double head_alpha = 1.1;     // head attractiveness exponent
+  double head_bias = 0.75;     // P(draw from the head component)
+  double mean_degree = 32.0;   // Table 2 "avg #sites per entity"
+  double degree_sigma = 1.35;  // lognormal sigma of the degree
+  double isolated_fraction = 0.002;
+  // Mentions of an entity on one site follow 1 + Poisson(mention_extra):
+  // >1 models multiple pages of the same site repeating the identifier.
+  double mention_extra = 0.3;
+  // Fraction of additional spurious mentions (a matching identifier on an
+  // unrelated site): exercises the false-match error mode of §3.5.
+  double false_match_fraction = 0.0005;
+  /// Fraction of entities that are "local": their sites are drawn only
+  /// from ranks >= local_rank_cutoff (local blogs / small directories,
+  /// never the global aggregators). Drives the review finding that 90%
+  /// 1-coverage needs >1000 sites even though most entities sit on
+  /// several sites.
+  double local_fraction = 0.0;
+  /// First site rank local entities may attach to. 0 = num_sites / 12.
+  uint32_t local_rank_cutoff = 0;
+  /// Multiplier on mention_extra for sites ranked above the cutoff: head
+  /// aggregators host many pages per entity (drives the Fig 4(b)
+  /// page-level series).
+  double head_page_boost = 1.0;
+  /// Degree-dependent head attachment: an entity with degree d draws from
+  /// the head component with probability head_bias * min(1, d /
+  /// head_degree_ref). Models the empirical coupling that businesses with
+  /// little web presence sit on local sites rather than national
+  /// aggregators — which is what makes the paper's graphs robust to
+  /// removing the top sites (Fig 9) while the top sites still cover ~93%
+  /// of entities (Fig 1). 0 disables (bias independent of degree).
+  double head_degree_ref = 0.0;
+};
+
+/// Calibrated default parameters per (domain, attribute). Mean degrees
+/// come straight from Table 2 of the paper; the alphas/sigmas are
+/// calibrated so the coverage anchors of Figures 1-4 hold (verified by
+/// tests/site_model_calibration_test).
+SpreadParams DefaultSpreadParams(Domain domain, Attribute attr);
+
+/// One edge of the ground-truth assignment with its page multiplicity.
+struct SiteMention {
+  EntityId entity = kInvalidEntityId;
+  uint16_t mention_pages = 1;  // on how many of the site's pages it appears
+  bool false_match = false;    // injected spurious mention
+};
+
+/// The generated ground-truth web: which site mentions which entities.
+/// Sites are indexed 0..num_sites()-1 in *generation rank* order (rank 0
+/// most attractive); the observed size order is close to, but not exactly,
+/// this order — analyses must sort by observed size, as the paper does.
+class SiteEntityModel {
+ public:
+  /// Builds the assignment for `catalog` under `params`. Deterministic in
+  /// `seed`.
+  static StatusOr<SiteEntityModel> Build(const DomainCatalog& catalog,
+                                         const SpreadParams& params,
+                                         uint64_t seed);
+
+  uint32_t num_sites() const {
+    return static_cast<uint32_t>(site_offsets_.size() - 1);
+  }
+  uint32_t num_entities() const { return num_entities_; }
+  uint64_t num_edges() const { return mentions_.size(); }
+
+  /// Mentions hosted by site `s` (unspecified order within the site).
+  const SiteMention* site_begin(SiteId s) const {
+    return mentions_.data() + site_offsets_[s];
+  }
+  const SiteMention* site_end(SiteId s) const {
+    return mentions_.data() + site_offsets_[s + 1];
+  }
+  uint32_t site_size(SiteId s) const {
+    return static_cast<uint32_t>(site_offsets_[s + 1] - site_offsets_[s]);
+  }
+
+  /// Host name for site `s` (e.g. "cityguide-00012.com"). Unique per site.
+  const std::string& host(SiteId s) const { return hosts_[s]; }
+
+  const SpreadParams& params() const { return params_; }
+
+ private:
+  SiteEntityModel() = default;
+
+  SpreadParams params_;
+  uint32_t num_entities_ = 0;
+  std::vector<uint64_t> site_offsets_;  // CSR over mentions_, size S+1
+  std::vector<SiteMention> mentions_;
+  std::vector<std::string> hosts_;
+};
+
+/// Converts the ground-truth model straight into the host-table form the
+/// analyses consume, bypassing HTML rendering and extraction. This is the
+/// fast path for model-level studies and ablations; the benches for the
+/// paper's figures use the full pipeline instead (and the integration
+/// tests assert both paths agree exactly for identifier attributes).
+HostEntityTable ModelToHostTable(const SiteEntityModel& model);
+
+}  // namespace wsd
+
+#endif  // WSD_CORPUS_SITE_MODEL_H_

@@ -1,0 +1,88 @@
+#ifndef WSD_CORPUS_WEB_CACHE_H_
+#define WSD_CORPUS_WEB_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "corpus/page_gen.h"
+#include "corpus/site_model.h"
+#include "entity/catalog.h"
+#include "entity/domains.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// A self-contained synthetic web for one (domain, attribute) experiment:
+/// owns the entity catalog, the ground-truth site-entity model, and the
+/// page generator. Pages are rendered on demand per host, so the web is
+/// never fully materialized — the cache scan streams it, the way the
+/// paper's pipeline streamed the Yahoo! crawl.
+class SyntheticWeb {
+ public:
+  struct Config {
+    Domain domain = Domain::kRestaurants;
+    Attribute attr = Attribute::kPhone;
+    uint32_t num_entities = 20000;
+    uint64_t seed = 42;
+    /// When unset, DefaultSpreadParams(domain, attr) is used.
+    std::optional<SpreadParams> spread;
+    PageGenOptions page_options;  // .attr is forced to `attr`
+  };
+
+  static StatusOr<SyntheticWeb> Create(const Config& config);
+
+  SyntheticWeb(SyntheticWeb&&) noexcept = default;
+  SyntheticWeb& operator=(SyntheticWeb&&) noexcept = default;
+
+  const Config& config() const { return config_; }
+  const DomainCatalog& catalog() const { return *catalog_; }
+  const SiteEntityModel& model() const { return *model_; }
+  const PageGenerator& generator() const { return *generator_; }
+
+  uint32_t num_hosts() const { return model_->num_sites(); }
+  const std::string& host(SiteId s) const { return model_->host(s); }
+
+  /// Renders every page of host `s` into `sink`. Thread-safe across
+  /// distinct hosts.
+  void GeneratePages(
+      SiteId s,
+      const std::function<void(const Page&, const PageTruth&)>& sink) const {
+    generator_->GeneratePages(s, sink);
+  }
+
+ private:
+  SyntheticWeb() = default;
+
+  Config config_;
+  std::unique_ptr<DomainCatalog> catalog_;
+  std::unique_ptr<SiteEntityModel> model_;
+  std::unique_ptr<PageGenerator> generator_;
+};
+
+/// Streaming on-disk page store, so corpora can be persisted and rescanned
+/// (format: "WSDCACHE1\n" magic, then per page two little-endian u32
+/// lengths followed by URL and HTML bytes).
+class WebCacheWriter {
+ public:
+  Status Open(const std::string& path);
+  Status Append(const Page& page);
+  Status Close();
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  uint64_t pages_written_ = 0;
+};
+
+/// Reads a WebCacheWriter file, invoking `sink` per page in order.
+Status ReadWebCache(const std::string& path,
+                    const std::function<void(const Page&)>& sink);
+
+}  // namespace wsd
+
+#endif  // WSD_CORPUS_WEB_CACHE_H_

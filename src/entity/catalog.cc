@@ -1,0 +1,104 @@
+#include "entity/catalog.h"
+
+#include <unordered_set>
+
+#include "entity/isbn.h"
+#include "entity/url.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+// Draws `count` distinct uint64 values in [0, space) by rejection; the
+// spaces used here (NANP ~6.3e9, ISBN 1e9) dwarf catalog sizes, so
+// collisions are rare and this is effectively O(count).
+std::vector<uint64_t> DistinctIndices(Rng& rng, uint64_t space,
+                                      uint32_t count) {
+  WSD_CHECK(static_cast<uint64_t>(count) * 4 < space)
+      << "identifier space too small for catalog size";
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const uint64_t idx = rng.Uniform(space);
+    if (seen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DomainCatalog> DomainCatalog::Build(Domain domain, uint32_t size,
+                                             uint64_t seed) {
+  if (size == 0) {
+    return Status::InvalidArgument("catalog size must be >= 1");
+  }
+  DomainCatalog catalog;
+  catalog.domain_ = domain;
+  catalog.entities_.reserve(size);
+
+  Rng rng(seed);
+  const NameKind kind = NameKindFor(domain);
+  const bool is_books = domain == Domain::kBooks;
+
+  std::vector<uint64_t> identifier_indices =
+      is_books ? DistinctIndices(rng, 1000000000ULL, size)
+               : DistinctIndices(rng, NanpSpaceSize(), size);
+
+  std::unordered_set<std::string> used_hosts;
+  used_hosts.reserve(size * 2);
+
+  for (uint32_t i = 0; i < size; ++i) {
+    Entity e;
+    e.id = i;
+    e.name = GenerateName(rng, kind);
+    e.city = GenerateCity(rng);
+    if (is_books) {
+      e.isbn13 = Isbn13FromIndex(identifier_indices[i]);
+    } else {
+      e.phone = PhoneFromIndex(identifier_indices[i]);
+      std::string host = HostFromName(e.name, e.city);
+      if (!used_hosts.insert(host).second) {
+        // Name+city collision: disambiguate with the entity id, as a real
+        // listings database would with a branch/location suffix.
+        host = host.substr(0, host.size() - 4) + "-" + std::to_string(i) +
+               ".com";
+        used_hosts.insert(host);
+      }
+      e.homepage_host = NormalizeHost(host);
+    }
+    catalog.entities_.push_back(std::move(e));
+  }
+
+  // Build identifier indexes over the now-stable entity storage.
+  for (const Entity& e : catalog.entities_) {
+    if (is_books) {
+      catalog.by_isbn_.emplace(std::string_view(e.isbn13), e.id);
+    } else {
+      catalog.by_phone_.emplace(std::string_view(e.phone.digits()), e.id);
+      catalog.by_homepage_.emplace(std::string_view(e.homepage_host), e.id);
+    }
+  }
+  return catalog;
+}
+
+EntityId DomainCatalog::FindByPhone(std::string_view digits) const {
+  auto it = by_phone_.find(digits);
+  return it == by_phone_.end() ? kInvalidEntityId : it->second;
+}
+
+EntityId DomainCatalog::FindByHomepage(std::string_view canonical) const {
+  auto it = by_homepage_.find(canonical);
+  return it == by_homepage_.end() ? kInvalidEntityId : it->second;
+}
+
+EntityId DomainCatalog::FindByIsbn13(std::string_view isbn13) const {
+  auto it = by_isbn_.find(isbn13);
+  return it == by_isbn_.end() ? kInvalidEntityId : it->second;
+}
+
+}  // namespace wsd

@@ -1,0 +1,75 @@
+#ifndef WSD_ENTITY_CATALOG_H_
+#define WSD_ENTITY_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "entity/domains.h"
+#include "entity/phone.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Index of an entity within its catalog.
+using EntityId = uint32_t;
+constexpr EntityId kInvalidEntityId = UINT32_MAX;
+
+/// One structured entity. For local-business domains, `phone` and
+/// `homepage_host` are populated; for Books, `isbn13` is. This plays the
+/// role of one row of the Yahoo! Business Listings / books database.
+struct Entity {
+  EntityId id = kInvalidEntityId;
+  std::string name;
+  std::string city;
+  Phone phone;                 // canonical 10 digits; empty for books
+  std::string homepage_host;   // canonical homepage host+path key
+  std::string isbn13;          // bare ISBN-13; empty for non-books
+};
+
+/// A comprehensive entity database for one domain — the study's ground
+/// truth set (paper §3.1: "a large comprehensive database of entities in
+/// the domain" with "some attribute that can uniquely identify the
+/// entity"). Generation is deterministic in (domain, size, seed), and
+/// identifying attributes are unique across the catalog by construction.
+class DomainCatalog {
+ public:
+  /// Builds a catalog of `size` entities. `size` >= 1.
+  static StatusOr<DomainCatalog> Build(Domain domain, uint32_t size,
+                                       uint64_t seed);
+
+  Domain domain() const { return domain_; }
+  uint32_t size() const { return static_cast<uint32_t>(entities_.size()); }
+  const Entity& entity(EntityId id) const { return entities_[id]; }
+  const std::vector<Entity>& entities() const { return entities_; }
+
+  /// Looks up an entity by its canonical 10-digit phone string. Returns
+  /// kInvalidEntityId when absent.
+  EntityId FindByPhone(std::string_view digits) const;
+
+  /// Looks up by canonical homepage key (see CanonicalizeHomepage).
+  EntityId FindByHomepage(std::string_view canonical) const;
+
+  /// Looks up by bare ISBN-13 (or the equivalent ISBN-10, converted by the
+  /// caller).
+  EntityId FindByIsbn13(std::string_view isbn13) const;
+
+ private:
+  DomainCatalog() = default;
+
+  Domain domain_ = Domain::kRestaurants;
+  std::vector<Entity> entities_;
+  // Identifier -> entity indices. Keys point at strings owned by
+  // entities_, which never changes after Build.
+  std::unordered_map<std::string_view, EntityId> by_phone_;
+  std::unordered_map<std::string_view, EntityId> by_homepage_;
+  std::unordered_map<std::string_view, EntityId> by_isbn_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_ENTITY_CATALOG_H_

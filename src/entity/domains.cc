@@ -1,0 +1,98 @@
+#include "entity/domains.h"
+
+#include "util/logging.h"
+
+namespace wsd {
+
+std::string_view DomainName(Domain d) {
+  switch (d) {
+    case Domain::kBooks:
+      return "Books";
+    case Domain::kRestaurants:
+      return "Restaurants";
+    case Domain::kAutomotive:
+      return "Automotive";
+    case Domain::kBanks:
+      return "Banks";
+    case Domain::kLibraries:
+      return "Libraries";
+    case Domain::kSchools:
+      return "Schools";
+    case Domain::kHotels:
+      return "Hotels & Lodging";
+    case Domain::kRetail:
+      return "Retail & Shopping";
+    case Domain::kHomeGarden:
+      return "Home & Garden";
+    case Domain::kNumDomains:
+      break;
+  }
+  return "Unknown";
+}
+
+std::string_view AttributeName(Attribute a) {
+  switch (a) {
+    case Attribute::kIsbn:
+      return "ISBN";
+    case Attribute::kPhone:
+      return "phone";
+    case Attribute::kHomepage:
+      return "homepage";
+    case Attribute::kReviews:
+      return "reviews";
+    case Attribute::kNumAttributes:
+      break;
+  }
+  return "unknown";
+}
+
+NameKind NameKindFor(Domain d) {
+  switch (d) {
+    case Domain::kBooks:
+      return NameKind::kBook;
+    case Domain::kRestaurants:
+      return NameKind::kRestaurant;
+    case Domain::kAutomotive:
+      return NameKind::kAutomotive;
+    case Domain::kBanks:
+      return NameKind::kBank;
+    case Domain::kLibraries:
+      return NameKind::kLibrary;
+    case Domain::kSchools:
+      return NameKind::kSchool;
+    case Domain::kHotels:
+      return NameKind::kHotel;
+    case Domain::kRetail:
+      return NameKind::kRetail;
+    case Domain::kHomeGarden:
+      return NameKind::kHomeGarden;
+    case Domain::kNumDomains:
+      break;
+  }
+  WSD_LOG(kFatal) << "invalid domain";
+  return NameKind::kRestaurant;
+}
+
+std::vector<Attribute> StudiedAttributes(Domain d) {
+  if (d == Domain::kBooks) return {Attribute::kIsbn};
+  if (d == Domain::kRestaurants) {
+    return {Attribute::kPhone, Attribute::kHomepage, Attribute::kReviews};
+  }
+  return {Attribute::kPhone, Attribute::kHomepage};
+}
+
+std::vector<Domain> AllDomains() {
+  std::vector<Domain> out;
+  for (int i = 0; i < kNumDomains; ++i) {
+    out.push_back(static_cast<Domain>(i));
+  }
+  return out;
+}
+
+std::vector<Domain> LocalBusinessDomains() {
+  return {Domain::kRestaurants, Domain::kAutomotive, Domain::kBanks,
+          Domain::kLibraries,   Domain::kSchools,    Domain::kHotels,
+          Domain::kRetail,      Domain::kHomeGarden};
+}
+
+}  // namespace wsd

@@ -1,0 +1,56 @@
+#ifndef WSD_ENTITY_DOMAINS_H_
+#define WSD_ENTITY_DOMAINS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "entity/name_gen.h"
+
+namespace wsd {
+
+/// The nine domains from Table 1 of the paper.
+enum class Domain : int {
+  kBooks = 0,
+  kRestaurants,
+  kAutomotive,
+  kBanks,
+  kLibraries,
+  kSchools,
+  kHotels,
+  kRetail,
+  kHomeGarden,
+  kNumDomains,
+};
+
+/// Identifying attributes studied per domain (Table 1).
+enum class Attribute : int {
+  kIsbn = 0,
+  kPhone,
+  kHomepage,
+  kReviews,
+  kNumAttributes,
+};
+
+constexpr int kNumDomains = static_cast<int>(Domain::kNumDomains);
+
+std::string_view DomainName(Domain d);
+std::string_view AttributeName(Attribute a);
+
+/// The NameKind used to generate display names in domain `d`.
+NameKind NameKindFor(Domain d);
+
+/// Table 1: the attributes studied for domain `d`. Books -> {ISBN};
+/// Restaurants -> {phone, homepage, reviews}; the other seven local
+/// business domains -> {phone, homepage}.
+std::vector<Attribute> StudiedAttributes(Domain d);
+
+/// All nine domains in Table 1 order.
+std::vector<Domain> AllDomains();
+
+/// The eight local business domains (everything except Books), in the
+/// order Figures 1-2 present them.
+std::vector<Domain> LocalBusinessDomains();
+
+}  // namespace wsd
+
+#endif  // WSD_ENTITY_DOMAINS_H_

@@ -1,0 +1,146 @@
+#include "entity/isbn.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+bool AllDigits(std::string_view s) {
+  for (char c : s) {
+    if (!IsDigit(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+char Isbn10CheckDigit(std::string_view body) {
+  WSD_CHECK(body.size() == 9 && AllDigits(body))
+      << "ISBN-10 body must be 9 digits";
+  // Weighted sum with weights 10..2; check digit makes the total divisible
+  // by 11.
+  int sum = 0;
+  for (int i = 0; i < 9; ++i) {
+    sum += (10 - i) * (body[i] - '0');
+  }
+  const int check = (11 - sum % 11) % 11;
+  return check == 10 ? 'X' : static_cast<char>('0' + check);
+}
+
+char Isbn13CheckDigit(std::string_view body) {
+  WSD_CHECK(body.size() == 12 && AllDigits(body))
+      << "ISBN-13 body must be 12 digits";
+  // Alternating weights 1,3; check digit makes the total divisible by 10.
+  int sum = 0;
+  for (int i = 0; i < 12; ++i) {
+    const int d = body[i] - '0';
+    sum += (i % 2 == 0) ? d : 3 * d;
+  }
+  const int check = (10 - sum % 10) % 10;
+  return static_cast<char>('0' + check);
+}
+
+bool IsValidIsbn10(std::string_view isbn) {
+  if (isbn.size() != 10) return false;
+  if (!AllDigits(isbn.substr(0, 9))) return false;
+  const char last = isbn[9];
+  if (!IsDigit(last) && last != 'X' && last != 'x') return false;
+  const char expected = Isbn10CheckDigit(isbn.substr(0, 9));
+  return last == expected || (expected == 'X' && last == 'x');
+}
+
+bool IsValidIsbn13(std::string_view isbn) {
+  if (isbn.size() != 13 || !AllDigits(isbn)) return false;
+  if (!(StartsWith(isbn, "978") || StartsWith(isbn, "979"))) return false;
+  return isbn[12] == Isbn13CheckDigit(isbn.substr(0, 12));
+}
+
+std::optional<std::string> Isbn10To13(std::string_view isbn10) {
+  if (!IsValidIsbn10(isbn10)) return std::nullopt;
+  std::string body = "978";
+  body.append(isbn10.substr(0, 9));
+  body.push_back(Isbn13CheckDigit(body));
+  return body;
+}
+
+std::optional<std::string> Isbn13To10(std::string_view isbn13) {
+  if (!IsValidIsbn13(isbn13) || !StartsWith(isbn13, "978")) {
+    return std::nullopt;
+  }
+  std::string body(isbn13.substr(3, 9));
+  body.push_back(Isbn10CheckDigit(body));
+  return body;
+}
+
+std::string StripIsbnSeparators(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c != '-' && c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatIsbn(std::string_view isbn13, IsbnStyle style) {
+  WSD_CHECK(isbn13.size() == 13) << "expected bare ISBN-13";
+  switch (style) {
+    case IsbnStyle::kBare13:
+      return std::string(isbn13);
+    case IsbnStyle::kHyphenated13: {
+      // 978-G-RRRRRRR-T-C grouping (registration group 1 digit, registrant
+      // 7, title 1). Hyphen positions vary in the wild; extraction strips
+      // them, so one consistent grouping suffices.
+      std::string out;
+      out += isbn13.substr(0, 3);
+      out += '-';
+      out += isbn13.substr(3, 1);
+      out += '-';
+      out += isbn13.substr(4, 7);
+      out += '-';
+      out += isbn13.substr(11, 1);
+      out += '-';
+      out += isbn13.substr(12, 1);
+      return out;
+    }
+    case IsbnStyle::kBare10:
+    case IsbnStyle::kHyphenated10: {
+      auto isbn10 = Isbn13To10(isbn13);
+      WSD_CHECK(isbn10.has_value()) << "ISBN has no ISBN-10 form: "
+                                    << std::string(isbn13);
+      if (style == IsbnStyle::kBare10) return *isbn10;
+      std::string out;
+      out += isbn10->substr(0, 1);
+      out += '-';
+      out += isbn10->substr(1, 7);
+      out += '-';
+      out += isbn10->substr(8, 1);
+      out += '-';
+      out += isbn10->substr(9, 1);
+      return out;
+    }
+    case IsbnStyle::kNumStyles:
+      break;
+  }
+  return std::string(isbn13);
+}
+
+std::string Isbn13FromIndex(uint64_t index) {
+  WSD_CHECK(index < 1000000000ULL) << "ISBN index out of range";
+  // 978-0 (English-language group) + 8-digit serial + check digit would
+  // cap at 10^8; use group digits 0-9 to reach 10^9.
+  std::string body = "978";
+  body.push_back(static_cast<char>('0' + index / 100000000ULL));
+  uint64_t serial = index % 100000000ULL;
+  char buf[9];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>('0' + serial % 10);
+    serial /= 10;
+  }
+  body.append(buf, 8);
+  body.push_back(Isbn13CheckDigit(body));
+  return body;
+}
+
+}  // namespace wsd

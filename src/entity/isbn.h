@@ -1,0 +1,60 @@
+#ifndef WSD_ENTITY_ISBN_H_
+#define WSD_ENTITY_ISBN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wsd {
+
+/// ISBN utilities: check-digit computation and validation for ISBN-10 and
+/// ISBN-13, conversion between the two, and display formatting. The books
+/// experiment (paper §3.2) matches "a 10-digit or a 13-digit ISBN, along
+/// with the string 'ISBN' in a small window near the match".
+
+/// Computes the ISBN-10 check character ('0'-'9' or 'X') for the first 9
+/// digits. `body` must be exactly 9 decimal digits.
+char Isbn10CheckDigit(std::string_view body);
+
+/// Computes the ISBN-13 check digit ('0'-'9') for the first 12 digits.
+char Isbn13CheckDigit(std::string_view body);
+
+/// Validates a bare (no hyphens/spaces) ISBN-10 such as "097522980X".
+bool IsValidIsbn10(std::string_view isbn);
+
+/// Validates a bare ISBN-13 such as "9780975229804". Requires the
+/// Bookland prefixes 978 or 979.
+bool IsValidIsbn13(std::string_view isbn);
+
+/// Converts a valid bare ISBN-10 to its 978-prefixed ISBN-13. Returns
+/// nullopt if the input is invalid.
+std::optional<std::string> Isbn10To13(std::string_view isbn10);
+
+/// Converts a valid 978-prefixed bare ISBN-13 to ISBN-10. Returns nullopt
+/// for invalid input or a 979 prefix (which has no ISBN-10 form).
+std::optional<std::string> Isbn13To10(std::string_view isbn13);
+
+/// Strips hyphens and spaces; returns the bare form.
+std::string StripIsbnSeparators(std::string_view s);
+
+/// How an ISBN is rendered on a page.
+enum class IsbnStyle : int {
+  kBare10 = 0,        // 097522980X
+  kBare13 = 1,        // 9780975229804
+  kHyphenated10 = 2,  // 0-9752298-0-X
+  kHyphenated13 = 3,  // 978-0-9752298-0-4
+  kNumStyles = 4,
+};
+
+/// Renders a bare ISBN-13 (with a valid ISBN-10 counterpart) in the given
+/// style.
+std::string FormatIsbn(std::string_view isbn13, IsbnStyle style);
+
+/// Deterministically maps an index to a unique valid bare ISBN-13 in the
+/// 978 range. Collision-free for index < 10^9.
+std::string Isbn13FromIndex(uint64_t index);
+
+}  // namespace wsd
+
+#endif  // WSD_ENTITY_ISBN_H_

@@ -1,0 +1,40 @@
+#ifndef WSD_ENTITY_NAME_GEN_H_
+#define WSD_ENTITY_NAME_GEN_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace wsd {
+
+/// The business vertical a name is generated for; mirrors the Table 1
+/// domains.
+enum class NameKind : int {
+  kRestaurant = 0,
+  kAutomotive,
+  kBank,
+  kLibrary,
+  kSchool,
+  kHotel,
+  kRetail,
+  kHomeGarden,
+  kBook,
+};
+
+/// Generates a plausible display name for the given vertical, e.g.
+/// "Golden Harbor Bistro" or "Riverside Auto Repair".
+std::string GenerateName(Rng& rng, NameKind kind);
+
+/// Generates a US city name (fictional but plausible, e.g. "Cedarville").
+std::string GenerateCity(Rng& rng);
+
+/// Derives a homepage-like host from a display name and city, e.g.
+/// "goldenharborbistro-cedarville.com". Deterministic in its inputs.
+std::string HostFromName(const std::string& name, const std::string& city);
+
+/// Generates an author-like person name ("Laura Bennett").
+std::string GeneratePersonName(Rng& rng);
+
+}  // namespace wsd
+
+#endif  // WSD_ENTITY_NAME_GEN_H_

@@ -1,0 +1,109 @@
+#include "entity/url.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+std::string Url::ToString() const {
+  std::string out = scheme + "://" + host;
+  if (port >= 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += path.empty() ? "/" : path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::optional<Url> ParseUrl(std::string_view raw) {
+  raw = Trim(raw);
+  const size_t scheme_end = raw.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return std::nullopt;
+  }
+  Url url;
+  url.scheme = ToLower(raw.substr(0, scheme_end));
+  if (url.scheme != "http" && url.scheme != "https") return std::nullopt;
+
+  std::string_view rest = raw.substr(scheme_end + 3);
+  // Drop the fragment first: it may contain '/' or '?'.
+  const size_t frag = rest.find('#');
+  if (frag != std::string_view::npos) rest = rest.substr(0, frag);
+
+  size_t path_start = rest.find_first_of("/?");
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) return std::nullopt;
+
+  // Strip userinfo if present (rare; synthetic corpus never emits it).
+  const size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority = authority.substr(at + 1);
+
+  const size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    auto port = ParseUint64(authority.substr(colon + 1));
+    if (!port.has_value() || *port > 65535) return std::nullopt;
+    url.port = static_cast<int>(*port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  url.host = ToLower(authority);
+
+  if (path_start == std::string_view::npos) {
+    url.path = "/";
+    return url;
+  }
+  std::string_view tail = rest.substr(path_start);
+  const size_t q = tail.find('?');
+  if (q == std::string_view::npos) {
+    url.path = std::string(tail);
+  } else {
+    url.path = std::string(tail.substr(0, q));
+    url.query = std::string(tail.substr(q + 1));
+  }
+  if (url.path.empty()) url.path = "/";
+  return url;
+}
+
+std::string NormalizeHost(std::string_view host) {
+  std::string h = ToLower(Trim(host));
+  if (StartsWith(h, "www.") && h.size() > 4) h = h.substr(4);
+  // Trailing dot (FQDN form) normalizes away.
+  if (!h.empty() && h.back() == '.') h.pop_back();
+  return h;
+}
+
+std::string CanonicalizeHomepage(std::string_view raw_url) {
+  auto url = ParseUrl(raw_url);
+  if (!url.has_value()) return std::string();
+  std::string path = url->path;
+  while (path.size() > 1 && path.back() == '/') path.pop_back();
+  if (path == "/") path.clear();
+  std::string out = NormalizeHost(url->host);
+  out += path;
+  return out;
+}
+
+std::string RegistrableDomain(std::string_view host) {
+  const std::string h = NormalizeHost(host);
+  static constexpr std::array<std::string_view, 6> kTwoLevelSuffixes = {
+      "co.uk", "org.uk", "com.au", "co.jp", "com.br", "co.in"};
+  const auto labels = Split(h, '.');
+  if (labels.size() <= 2) return h;
+  const std::string last_two =
+      std::string(labels[labels.size() - 2]) + "." +
+      std::string(labels[labels.size() - 1]);
+  for (std::string_view suffix : kTwoLevelSuffixes) {
+    if (last_two == suffix) {
+      return std::string(labels[labels.size() - 3]) + "." + last_two;
+    }
+  }
+  return last_two;
+}
+
+}  // namespace wsd

@@ -1,0 +1,45 @@
+#ifndef WSD_ENTITY_URL_H_
+#define WSD_ENTITY_URL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wsd {
+
+/// A parsed URL. Only the parts the study needs: scheme, host, port, path,
+/// query. Fragments are dropped at parse time (they never reach servers and
+/// never identify entities).
+struct Url {
+  std::string scheme;  // lower-cased, e.g. "http"
+  std::string host;    // lower-cased, e.g. "www.yelp.com"
+  int port = -1;       // -1 when absent
+  std::string path;    // begins with '/' (defaulted when absent)
+  std::string query;   // without the leading '?'
+
+  std::string ToString() const;
+};
+
+/// Parses an absolute http(s) URL. Returns nullopt for anything else
+/// (relative refs, other schemes, empty host).
+std::optional<Url> ParseUrl(std::string_view raw);
+
+/// Lower-cases and strips a single leading "www." label. This is the host
+/// key used to group pages into "websites" throughout the study (the paper
+/// aggregates pages by host).
+std::string NormalizeHost(std::string_view host);
+
+/// Canonical comparison form of a homepage URL: normalized host plus path
+/// with any trailing slash removed and the scheme dropped. Two homepage
+/// spellings that differ only in scheme, case, "www." or trailing slash
+/// compare equal.
+std::string CanonicalizeHomepage(std::string_view raw_url);
+
+/// Registrable domain ("site") of a host: the last two labels, or three
+/// for well-known two-level public suffixes (co.uk, com.au, ...). Naive
+/// but sufficient for synthetic hosts.
+std::string RegistrableDomain(std::string_view host);
+
+}  // namespace wsd
+
+#endif  // WSD_ENTITY_URL_H_

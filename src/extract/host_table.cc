@@ -1,0 +1,104 @@
+#include "extract/host_table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+std::vector<uint32_t> HostEntityTable::HostsBySizeDesc() const {
+  std::vector<uint32_t> order(hosts_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    const size_t sa = hosts_[a].entities.size();
+    const size_t sb = hosts_[b].entities.size();
+    if (sa != sb) return sa > sb;
+    return hosts_[a].host < hosts_[b].host;
+  });
+  return order;
+}
+
+uint64_t HostEntityTable::TotalEdges() const {
+  uint64_t total = 0;
+  for (const HostRecord& h : hosts_) total += h.entities.size();
+  return total;
+}
+
+uint64_t HostEntityTable::TotalEntityPages() const {
+  uint64_t total = 0;
+  for (const HostRecord& h : hosts_) {
+    for (const EntityPages& ep : h.entities) total += ep.pages;
+  }
+  return total;
+}
+
+size_t HostEntityTable::PruneEmptyHosts() {
+  const size_t before = hosts_.size();
+  hosts_.erase(std::remove_if(hosts_.begin(), hosts_.end(),
+                              [](const HostRecord& h) {
+                                return h.entities.empty();
+                              }),
+               hosts_.end());
+  return before - hosts_.size();
+}
+
+Status HostEntityTable::WriteTsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  for (const HostRecord& h : hosts_) {
+    out << h.host << '\t';
+    for (size_t i = 0; i < h.entities.size(); ++i) {
+      if (i > 0) out << ',';
+      out << h.entities[i].entity << ':' << h.entities[i].pages;
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+StatusOr<HostEntityTable> HostEntityTable::ReadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  std::vector<HostRecord> hosts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::Corruption("missing tab in host table line");
+    }
+    HostRecord rec;
+    rec.host = line.substr(0, tab);
+    std::string_view rest(line);
+    rest = rest.substr(tab + 1);
+    if (!rest.empty()) {
+      for (std::string_view pair : Split(rest, ',')) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string_view::npos) {
+          return Status::Corruption("bad entity:pages pair");
+        }
+        auto id = ParseUint64(pair.substr(0, colon));
+        auto pages = ParseUint64(pair.substr(colon + 1));
+        if (!id || !pages || *id >= kInvalidEntityId ||
+            *pages > UINT32_MAX) {
+          return Status::Corruption("unparseable entity:pages pair");
+        }
+        rec.entities.push_back({static_cast<EntityId>(*id),
+                                static_cast<uint32_t>(*pages)});
+      }
+    }
+    std::sort(rec.entities.begin(), rec.entities.end(),
+              [](const EntityPages& a, const EntityPages& b) {
+                return a.entity < b.entity;
+              });
+    hosts.push_back(std::move(rec));
+  }
+  if (in.bad()) return Status::IOError("read failure: " + path);
+  return HostEntityTable(std::move(hosts));
+}
+
+}  // namespace wsd

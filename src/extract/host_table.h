@@ -1,0 +1,75 @@
+#ifndef WSD_EXTRACT_HOST_TABLE_H_
+#define WSD_EXTRACT_HOST_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "entity/catalog.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Per-(host, entity) aggregate produced by the cache scan.
+struct EntityPages {
+  EntityId entity = kInvalidEntityId;
+  /// Number of pages of the host mentioning the entity. For review scans
+  /// this counts only pages classified as reviews.
+  uint32_t pages = 0;
+};
+
+/// Everything the scan learned about one host.
+struct HostRecord {
+  std::string host;
+  std::vector<EntityPages> entities;  // sorted by entity id, unique
+  uint64_t pages_scanned = 0;
+  uint64_t bytes_scanned = 0;
+};
+
+/// The scan output: "we group pages by hosts, and for each host, we
+/// aggregate the set of entities found on all the pages in that host"
+/// (paper §3.1). This table is the single input to every spread and
+/// connectivity analysis.
+class HostEntityTable {
+ public:
+  HostEntityTable() = default;
+  explicit HostEntityTable(std::vector<HostRecord> hosts)
+      : hosts_(std::move(hosts)) {}
+
+  size_t num_hosts() const { return hosts_.size(); }
+  const HostRecord& host(size_t i) const { return hosts_[i]; }
+  const std::vector<HostRecord>& hosts() const { return hosts_; }
+  std::vector<HostRecord>& mutable_hosts() { return hosts_; }
+
+  /// Number of distinct entities on host i.
+  uint32_t host_entity_count(size_t i) const {
+    return static_cast<uint32_t>(hosts_[i].entities.size());
+  }
+
+  /// Host indices ordered by decreasing entity count (the paper's
+  /// "top-t websites" ordering). Ties break by host name for determinism.
+  std::vector<uint32_t> HostsBySizeDesc() const;
+
+  /// Total (host, entity) edges.
+  uint64_t TotalEdges() const;
+
+  /// Total pages across per-entity page counts (review scans: total
+  /// review pages on the Web — the Fig 4(b) denominator).
+  uint64_t TotalEntityPages() const;
+
+  /// Drops hosts with no matched entities (they carry no signal and the
+  /// paper's site counts exclude them). Returns the number removed.
+  size_t PruneEmptyHosts();
+
+  /// TSV persistence: "host<TAB>entity:pages,entity:pages,...".
+  Status WriteTsv(const std::string& path) const;
+  static StatusOr<HostEntityTable> ReadTsv(const std::string& path);
+
+ private:
+  std::vector<HostRecord> hosts_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_HOST_TABLE_H_

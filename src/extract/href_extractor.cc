@@ -1,0 +1,21 @@
+#include "extract/href_extractor.h"
+
+#include "entity/url.h"
+#include "html/text_extract.h"
+
+namespace wsd {
+
+std::vector<HrefMatch> ExtractHrefs(std::string_view page_html) {
+  std::vector<HrefMatch> out;
+  for (const html::AnchorLink& anchor : html::ExtractAnchors(page_html)) {
+    if (anchor.href.empty()) continue;
+    std::string canonical = CanonicalizeHomepage(anchor.href);
+    if (canonical.empty()) continue;  // relative or non-http link
+    HrefMatch m;
+    m.canonical = std::move(canonical);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace wsd

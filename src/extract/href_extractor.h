@@ -1,0 +1,22 @@
+#ifndef WSD_EXTRACT_HREF_EXTRACTOR_H_
+#define WSD_EXTRACT_HREF_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+
+/// A canonicalized outbound link candidate for homepage matching.
+struct HrefMatch {
+  std::string canonical;  // CanonicalizeHomepage() of the raw href
+};
+
+/// Extracts the canonical homepage keys of all absolute http(s) anchors
+/// on the page ("we looked at the content of href tags of all anchor
+/// nodes", paper §3.2). Relative links and non-http schemes are skipped.
+std::vector<HrefMatch> ExtractHrefs(std::string_view page_html);
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_HREF_EXTRACTOR_H_

@@ -1,0 +1,27 @@
+#ifndef WSD_EXTRACT_ISBN_EXTRACTOR_H_
+#define WSD_EXTRACT_ISBN_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+
+/// An ISBN found in text, normalized to its bare ISBN-13 form.
+struct IsbnMatch {
+  std::string isbn13;
+  size_t offset = 0;
+};
+
+/// Finds ISBNs in plain text the way the paper did (§3.2): a 10- or
+/// 13-digit candidate (hyphens/spaces allowed between groups), with a
+/// valid check digit, "along with the string 'ISBN' in a small window
+/// near the match". ISBN-10 matches are normalized to ISBN-13.
+std::vector<IsbnMatch> ExtractIsbns(std::string_view text);
+
+/// The context window (bytes before the candidate) searched for "ISBN".
+constexpr size_t kIsbnContextWindow = 24;
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_ISBN_EXTRACTOR_H_

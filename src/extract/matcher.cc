@@ -1,0 +1,42 @@
+#include "extract/matcher.h"
+
+#include <algorithm>
+
+#include "extract/href_extractor.h"
+#include "extract/isbn_extractor.h"
+#include "extract/phone_extractor.h"
+
+namespace wsd {
+
+std::vector<EntityId> EntityMatcher::MatchPage(
+    std::string_view content) const {
+  std::vector<EntityId> ids;
+  switch (attr_) {
+    case Attribute::kPhone:
+    case Attribute::kReviews:
+      for (const PhoneMatch& m : ExtractPhones(content)) {
+        const EntityId id = catalog_.FindByPhone(m.digits);
+        if (id != kInvalidEntityId) ids.push_back(id);
+      }
+      break;
+    case Attribute::kIsbn:
+      for (const IsbnMatch& m : ExtractIsbns(content)) {
+        const EntityId id = catalog_.FindByIsbn13(m.isbn13);
+        if (id != kInvalidEntityId) ids.push_back(id);
+      }
+      break;
+    case Attribute::kHomepage:
+      for (const HrefMatch& m : ExtractHrefs(content)) {
+        const EntityId id = catalog_.FindByHomepage(m.canonical);
+        if (id != kInvalidEntityId) ids.push_back(id);
+      }
+      break;
+    case Attribute::kNumAttributes:
+      break;
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace wsd

@@ -1,0 +1,37 @@
+#ifndef WSD_EXTRACT_MATCHER_H_
+#define WSD_EXTRACT_MATCHER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "entity/catalog.h"
+#include "entity/domains.h"
+
+namespace wsd {
+
+/// Resolves raw page content to catalog entity ids for one identifying
+/// attribute: runs the attribute's extractor and keeps only identifiers
+/// present in the entity database (the paper never extracts *new*
+/// entities — it "look[s] for the identifying attributes of the entities
+/// on each page", §3.1). Deduplicates ids within the page.
+class EntityMatcher {
+ public:
+  /// `catalog` must outlive the matcher.
+  EntityMatcher(const DomainCatalog& catalog, Attribute attr)
+      : catalog_(catalog), attr_(attr) {}
+
+  /// Matches entities on a page. For kPhone/kIsbn/kReviews the input is
+  /// the page's visible text; for kHomepage it is the raw HTML (anchors
+  /// are parsed internally).
+  std::vector<EntityId> MatchPage(std::string_view content) const;
+
+  Attribute attribute() const { return attr_; }
+
+ private:
+  const DomainCatalog& catalog_;
+  Attribute attr_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_MATCHER_H_

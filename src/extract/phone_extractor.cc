@@ -1,0 +1,111 @@
+#include "extract/phone_extractor.h"
+
+#include "entity/phone.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+bool IsSep(char c) { return c == '-' || c == '.' || c == ' '; }
+
+// Reads exactly `count` digits at text[j..]; appends them to out and
+// advances j. Returns false without side effects on failure.
+bool ReadDigits(std::string_view text, size_t& j, int count,
+                std::string* out) {
+  if (j + static_cast<size_t>(count) > text.size()) return false;
+  for (int k = 0; k < count; ++k) {
+    if (!IsDigit(text[j + static_cast<size_t>(k)])) return false;
+  }
+  out->append(text.substr(j, static_cast<size_t>(count)));
+  j += static_cast<size_t>(count);
+  return true;
+}
+
+bool DigitFollows(std::string_view text, size_t j) {
+  return j < text.size() && IsDigit(text[j]);
+}
+
+// Attempts to parse one phone number starting at text[i]. On success
+// fills `digits` (canonical 10) and `end` (one past the match).
+bool ParsePhoneAt(std::string_view text, size_t i, std::string* digits,
+                  size_t* end) {
+  size_t j = i;
+  digits->clear();
+
+  // Optional country code: "+1" or bare "1", followed by a separator.
+  if (j < text.size() && text[j] == '+') {
+    if (j + 1 >= text.size() || text[j + 1] != '1') return false;
+    j += 2;
+    if (j >= text.size() || !IsSep(text[j])) return false;
+    ++j;
+  } else if (j < text.size() && text[j] == '1' && j + 1 < text.size() &&
+             IsSep(text[j + 1]) && j + 2 < text.size() &&
+             IsDigit(text[j + 2])) {
+    j += 2;
+  }
+
+  if (j >= text.size()) return false;
+
+  if (text[j] == '(') {
+    // (415) 555-0134 style.
+    ++j;
+    if (!ReadDigits(text, j, 3, digits)) return false;
+    if (j >= text.size() || text[j] != ')') return false;
+    ++j;
+    if (j < text.size() && text[j] == ' ') ++j;
+    if (!ReadDigits(text, j, 3, digits)) return false;
+    if (j >= text.size() || !IsSep(text[j])) return false;
+    ++j;
+    if (!ReadDigits(text, j, 4, digits)) return false;
+  } else {
+    if (!ReadDigits(text, j, 3, digits)) return false;
+    if (j < text.size() && IsSep(text[j])) {
+      // 415-555-0134 / 415.555.0134 / 415 555 0134.
+      ++j;
+      if (!ReadDigits(text, j, 3, digits)) return false;
+      if (j >= text.size() || !IsSep(text[j])) return false;
+      ++j;
+      if (!ReadDigits(text, j, 4, digits)) return false;
+    } else {
+      // Bare 4155550134.
+      if (!ReadDigits(text, j, 7, digits)) return false;
+    }
+  }
+
+  if (DigitFollows(text, j)) return false;  // part of a longer run
+  if (!IsValidNanp(*digits)) return false;
+  *end = j;
+  return true;
+}
+
+}  // namespace
+
+std::vector<PhoneMatch> ExtractPhones(std::string_view text) {
+  std::vector<PhoneMatch> matches;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    const bool candidate_start =
+        c == '(' || c == '+' ||
+        (IsDigit(c) && (i == 0 || !IsDigit(text[i - 1])));
+    if (!candidate_start) {
+      ++i;
+      continue;
+    }
+    std::string digits;
+    size_t end = 0;
+    if (ParsePhoneAt(text, i, &digits, &end)) {
+      PhoneMatch m;
+      m.digits = std::move(digits);
+      m.offset = i;
+      matches.push_back(std::move(m));
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return matches;
+}
+
+}  // namespace wsd

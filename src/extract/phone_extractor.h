@@ -1,0 +1,28 @@
+#ifndef WSD_EXTRACT_PHONE_EXTRACTOR_H_
+#define WSD_EXTRACT_PHONE_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+
+/// A phone number found in text: its canonical 10 digits and the byte
+/// offset of the first digit.
+struct PhoneMatch {
+  std::string digits;
+  size_t offset = 0;
+};
+
+/// Finds US (NANP) phone numbers in plain text — "a standard regular
+/// expression based US phone number extractor" (paper §3.2), implemented
+/// as a single-pass scanner equivalent to the regex
+///   (\+?1[-. ])?(\(\d{3}\)[ ]?|\d{3}[-. ])\d{3}[-. ]\d{4}  |  \d{10}
+/// with NANP validity (area code / exchange start 2-9, no N11) and
+/// digit-boundary checks so identifiers embedded in longer digit runs are
+/// not matched.
+std::vector<PhoneMatch> ExtractPhones(std::string_view text);
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_PHONE_EXTRACTOR_H_

@@ -1,0 +1,23 @@
+#include "extract/review_detector.h"
+
+#include "text/review_lm.h"
+#include "text/tokenizer.h"
+
+namespace wsd {
+
+StatusOr<ReviewDetector> ReviewDetector::CreateDefault(uint64_t seed) {
+  auto model = text::TrainReviewClassifier(seed);
+  if (!model.ok()) return model.status();
+  return ReviewDetector(std::move(model).value());
+}
+
+bool ReviewDetector::IsReview(std::string_view visible_text) const {
+  return Score(visible_text) > 0.0;
+}
+
+double ReviewDetector::Score(std::string_view visible_text) const {
+  return model_.PredictLogOdds(
+      text::TokenizeForClassification(visible_text));
+}
+
+}  // namespace wsd

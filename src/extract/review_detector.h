@@ -1,0 +1,38 @@
+#ifndef WSD_EXTRACT_REVIEW_DETECTOR_H_
+#define WSD_EXTRACT_REVIEW_DETECTOR_H_
+
+#include <string_view>
+
+#include "text/naive_bayes.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Decides whether a page's visible text is review content — the paper's
+/// Naive Bayes step ("used a Naive-Bayes classifier over the textual
+/// content to determine if a page has review content", §3.2). Stateless
+/// wrapper over a finalized classifier; safe to share across scan threads.
+class ReviewDetector {
+ public:
+  explicit ReviewDetector(text::NaiveBayesClassifier model)
+      : model_(std::move(model)) {}
+
+  /// Builds a detector trained on the synthetic review/boilerplate corpus.
+  /// Deterministic in `seed`.
+  static StatusOr<ReviewDetector> CreateDefault(uint64_t seed);
+
+  /// True if `visible_text` reads as review content.
+  bool IsReview(std::string_view visible_text) const;
+
+  /// Log-odds score (positive = review); exposed for threshold studies.
+  double Score(std::string_view visible_text) const;
+
+  const text::NaiveBayesClassifier& model() const { return model_; }
+
+ private:
+  text::NaiveBayesClassifier model_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_REVIEW_DETECTOR_H_

@@ -1,0 +1,168 @@
+#include "extract/scan_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+#include <unordered_map>
+
+#include "entity/url.h"
+#include "extract/matcher.h"
+#include "html/text_extract.h"
+#include "util/timer.h"
+
+namespace wsd {
+
+StatusOr<ScanResult> ScanPipeline::Run() const {
+  const Attribute attr = web_.config().attr;
+  if (attr == Attribute::kReviews && detector_ == nullptr) {
+    return Status::InvalidArgument(
+        "review scan requires a ReviewDetector");
+  }
+
+  Timer timer;
+  const uint32_t num_hosts = web_.num_hosts();
+  std::vector<HostRecord> records(num_hosts);
+
+  const EntityMatcher matcher(web_.catalog(), attr);
+  const ReviewDetector* detector = detector_;
+  const SyntheticWeb& web = web_;
+
+  std::atomic<uint64_t> mentions{0};
+  std::atomic<uint64_t> review_pages{0};
+
+  // Hosts are disjoint, so each iteration owns records[s] exclusively.
+  ParallelFor(pool_, 0, num_hosts, [&](size_t s) {
+    HostRecord& rec = records[s];
+    rec.host = web.host(static_cast<SiteId>(s));
+    // entity -> pages mentioning it on this host.
+    std::map<EntityId, uint32_t> counts;
+    uint64_t local_mentions = 0;
+    uint64_t local_reviews = 0;
+    web.GeneratePages(
+        static_cast<SiteId>(s),
+        [&](const Page& page, const PageTruth& /*truth*/) {
+          ++rec.pages_scanned;
+          rec.bytes_scanned += page.html.size();
+          std::vector<EntityId> ids;
+          if (attr == Attribute::kHomepage) {
+            ids = matcher.MatchPage(page.html);
+          } else {
+            const std::string text =
+                html::ExtractVisibleText(page.html);
+            if (attr == Attribute::kReviews) {
+              // Two-step methodology: phone match first, then the Naive
+              // Bayes review decision over the page text.
+              ids = matcher.MatchPage(text);
+              if (!ids.empty() && !detector->IsReview(text)) {
+                ids.clear();
+              }
+              if (!ids.empty()) ++local_reviews;
+            } else {
+              ids = matcher.MatchPage(text);
+            }
+          }
+          local_mentions += ids.size();
+          for (EntityId id : ids) ++counts[id];
+        });
+    rec.entities.reserve(counts.size());
+    for (const auto& [id, pages] : counts) {
+      rec.entities.push_back({id, pages});
+    }
+    mentions.fetch_add(local_mentions, std::memory_order_relaxed);
+    review_pages.fetch_add(local_reviews, std::memory_order_relaxed);
+  });
+
+  ScanResult result;
+  result.table = HostEntityTable(std::move(records));
+  result.stats.hosts_scanned = num_hosts;
+  for (size_t i = 0; i < result.table.num_hosts(); ++i) {
+    result.stats.pages_scanned += result.table.host(i).pages_scanned;
+    result.stats.bytes_scanned += result.table.host(i).bytes_scanned;
+  }
+  result.stats.entity_mentions = mentions.load();
+  result.stats.review_pages = review_pages.load();
+  result.table.PruneEmptyHosts();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace wsd
+
+namespace wsd {
+
+StatusOr<ScanResult> ScanCacheFile(const std::string& path,
+                                   const DomainCatalog& catalog,
+                                   Attribute attr,
+                                   const ReviewDetector* detector) {
+  if (attr == Attribute::kReviews && detector == nullptr) {
+    return Status::InvalidArgument(
+        "review scan requires a ReviewDetector");
+  }
+  Timer timer;
+  const EntityMatcher matcher(catalog, attr);
+
+  // host name -> (record index) plus per-host entity page counts.
+  std::unordered_map<std::string, size_t> host_index;
+  std::vector<HostRecord> records;
+  std::vector<std::map<EntityId, uint32_t>> counts;
+  uint64_t mentions = 0, review_pages = 0, skipped_urls = 0;
+
+  const Status read_status = ReadWebCache(path, [&](const Page& page) {
+    auto url = ParseUrl(page.url);
+    if (!url.has_value()) {
+      ++skipped_urls;
+      return;
+    }
+    const std::string host = NormalizeHost(url->host);
+    auto [it, inserted] = host_index.emplace(host, records.size());
+    if (inserted) {
+      records.emplace_back();
+      records.back().host = host;
+      counts.emplace_back();
+    }
+    HostRecord& rec = records[it->second];
+    ++rec.pages_scanned;
+    rec.bytes_scanned += page.html.size();
+
+    std::vector<EntityId> ids;
+    if (attr == Attribute::kHomepage) {
+      ids = matcher.MatchPage(page.html);
+    } else {
+      const std::string text = html::ExtractVisibleText(page.html);
+      ids = matcher.MatchPage(text);
+      if (attr == Attribute::kReviews && !ids.empty()) {
+        if (!detector->IsReview(text)) {
+          ids.clear();
+        } else {
+          ++review_pages;
+        }
+      }
+    }
+    mentions += ids.size();
+    for (EntityId id : ids) ++counts[it->second][id];
+  });
+  WSD_RETURN_IF_ERROR(read_status);
+
+  ScanResult result;
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].entities.reserve(counts[i].size());
+    for (const auto& [id, pages] : counts[i]) {
+      records[i].entities.push_back({id, pages});
+    }
+  }
+  result.table = HostEntityTable(std::move(records));
+  result.stats.hosts_scanned = result.table.num_hosts();
+  for (size_t i = 0; i < result.table.num_hosts(); ++i) {
+    result.stats.pages_scanned += result.table.host(i).pages_scanned;
+    result.stats.bytes_scanned += result.table.host(i).bytes_scanned;
+  }
+  result.stats.entity_mentions = mentions;
+  result.stats.review_pages = review_pages;
+  result.table.PruneEmptyHosts();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  (void)skipped_urls;
+  return result;
+}
+
+}  // namespace wsd

@@ -1,0 +1,68 @@
+#ifndef WSD_EXTRACT_SCAN_PIPELINE_H_
+#define WSD_EXTRACT_SCAN_PIPELINE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "corpus/web_cache.h"
+#include "extract/host_table.h"
+#include "extract/review_detector.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace wsd {
+
+/// Scan statistics, reported alongside the table.
+struct ScanStats {
+  uint64_t hosts_scanned = 0;
+  uint64_t pages_scanned = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t entity_mentions = 0;   // matched (page, entity) pairs
+  uint64_t review_pages = 0;      // review scans only
+  double wall_seconds = 0.0;
+};
+
+struct ScanResult {
+  HostEntityTable table;
+  ScanStats stats;
+};
+
+/// The paper's cache scan (§3.1): stream every page of every host through
+/// the attribute extractor and aggregate matches per host. Hosts are
+/// processed in parallel shards; rendering is deterministic per host, so
+/// the result is independent of thread count.
+///
+/// For Attribute::kReviews a detector must be supplied; a page then
+/// counts only when it (a) mentions the entity's phone and (b) classifies
+/// as review content — exactly the paper's two-step restaurant-review
+/// methodology.
+class ScanPipeline {
+ public:
+  /// `web` and `pool` must outlive the pipeline. `detector` is required
+  /// for review scans and ignored otherwise.
+  ScanPipeline(const SyntheticWeb& web, ThreadPool& pool,
+               const ReviewDetector* detector = nullptr)
+      : web_(web), pool_(pool), detector_(detector) {}
+
+  /// Runs the scan. Fails if a review scan lacks a detector.
+  StatusOr<ScanResult> Run() const;
+
+ private:
+  const SyntheticWeb& web_;
+  ThreadPool& pool_;
+  const ReviewDetector* detector_;
+};
+
+/// Scans a persisted page cache (written by WebCacheWriter / `wsdctl
+/// gen-cache`) instead of a live synthetic web. Pages are grouped into
+/// hosts by the normalized host of their URL; pages with unparseable
+/// URLs are counted in stats and skipped. Single-threaded streaming (the
+/// file is the bottleneck). A detector is required for review scans.
+StatusOr<ScanResult> ScanCacheFile(const std::string& path,
+                                   const DomainCatalog& catalog,
+                                   Attribute attr,
+                                   const ReviewDetector* detector = nullptr);
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_SCAN_PIPELINE_H_

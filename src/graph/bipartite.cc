@@ -1,0 +1,74 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wsd {
+
+BipartiteGraph BipartiteGraph::FromHostTable(const HostEntityTable& table,
+                                             uint32_t num_entities) {
+  BipartiteGraph g;
+  g.num_entities_ = num_entities;
+  g.num_sites_ = static_cast<uint32_t>(table.num_hosts());
+
+  // Site-side CSR comes straight from the table.
+  g.site_offsets_.assign(g.num_sites_ + 1, 0);
+  uint64_t edges = 0;
+  for (uint32_t s = 0; s < g.num_sites_; ++s) {
+    edges += table.host(s).entities.size();
+    g.site_offsets_[s + 1] = edges;
+  }
+  g.site_adj_.resize(edges);
+  {
+    uint64_t k = 0;
+    for (uint32_t s = 0; s < g.num_sites_; ++s) {
+      for (const EntityPages& ep : table.host(s).entities) {
+        g.site_adj_[k++] = ep.entity;
+      }
+    }
+  }
+
+  // Entity-side CSR by counting sort.
+  g.entity_offsets_.assign(num_entities + 1, 0);
+  for (uint32_t e : g.site_adj_) ++g.entity_offsets_[e + 1];
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    g.entity_offsets_[e + 1] += g.entity_offsets_[e];
+  }
+  g.entity_adj_.resize(edges);
+  {
+    std::vector<uint64_t> cursor(g.entity_offsets_.begin(),
+                                 g.entity_offsets_.end() - 1);
+    for (uint32_t s = 0; s < g.num_sites_; ++s) {
+      for (uint64_t k = g.site_offsets_[s]; k < g.site_offsets_[s + 1];
+           ++k) {
+        g.entity_adj_[cursor[g.site_adj_[k]]++] = s;
+      }
+    }
+  }
+
+  g.num_covered_entities_ = 0;
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    if (g.EntityDegree(e) > 0) ++g.num_covered_entities_;
+  }
+  return g;
+}
+
+double BipartiteGraph::AvgSitesPerEntity() const {
+  if (num_covered_entities_ == 0) return 0.0;
+  return static_cast<double>(num_edges()) /
+         static_cast<double>(num_covered_entities_);
+}
+
+std::vector<uint32_t> BipartiteGraph::SitesByDegreeDesc() const {
+  std::vector<uint32_t> order(num_sites_);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    const uint32_t da = SiteDegree(a);
+    const uint32_t db = SiteDegree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace wsd

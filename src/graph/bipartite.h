@@ -1,0 +1,73 @@
+#ifndef WSD_GRAPH_BIPARTITE_H_
+#define WSD_GRAPH_BIPARTITE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "extract/host_table.h"
+
+namespace wsd {
+
+/// The entity-website bipartite graph of §5: "nodes are entities and
+/// websites, and there is an edge between an entity and a website if the
+/// website covers the entity." Stored as CSR in both directions.
+///
+/// Node numbering: entity e is node e; site s is node num_entities + s.
+class BipartiteGraph {
+ public:
+  /// Builds the graph from a scanned host table. `num_entities` is the
+  /// catalog size (entities the scan never saw become isolated
+  /// zero-degree nodes and are excluded from component statistics, as in
+  /// the paper, which only considers entities found on the Web).
+  static BipartiteGraph FromHostTable(const HostEntityTable& table,
+                                      uint32_t num_entities);
+
+  uint32_t num_entities() const { return num_entities_; }
+  uint32_t num_sites() const { return num_sites_; }
+  uint32_t num_nodes() const { return num_entities_ + num_sites_; }
+  uint64_t num_edges() const { return entity_adj_.size(); }
+
+  /// Sites mentioning entity e (as site indices, not node ids).
+  std::span<const uint32_t> SitesOf(uint32_t e) const {
+    return {entity_adj_.data() + entity_offsets_[e],
+            entity_offsets_[e + 1] - entity_offsets_[e]};
+  }
+
+  /// Entities on site s.
+  std::span<const uint32_t> EntitiesOf(uint32_t s) const {
+    return {site_adj_.data() + site_offsets_[s],
+            site_offsets_[s + 1] - site_offsets_[s]};
+  }
+
+  uint32_t EntityDegree(uint32_t e) const {
+    return static_cast<uint32_t>(entity_offsets_[e + 1] -
+                                 entity_offsets_[e]);
+  }
+  uint32_t SiteDegree(uint32_t s) const {
+    return static_cast<uint32_t>(site_offsets_[s + 1] - site_offsets_[s]);
+  }
+
+  /// Entities with at least one edge.
+  uint32_t num_covered_entities() const { return num_covered_entities_; }
+
+  /// Average number of sites per covered entity — Table 2's
+  /// "Avg. #sites per entity".
+  double AvgSitesPerEntity() const;
+
+  /// Site indices sorted by decreasing degree (for robustness sweeps).
+  std::vector<uint32_t> SitesByDegreeDesc() const;
+
+ private:
+  uint32_t num_entities_ = 0;
+  uint32_t num_sites_ = 0;
+  uint32_t num_covered_entities_ = 0;
+  std::vector<uint64_t> entity_offsets_;  // size num_entities_+1
+  std::vector<uint32_t> entity_adj_;      // site indices
+  std::vector<uint64_t> site_offsets_;    // size num_sites_+1
+  std::vector<uint32_t> site_adj_;        // entity indices
+};
+
+}  // namespace wsd
+
+#endif  // WSD_GRAPH_BIPARTITE_H_

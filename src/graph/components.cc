@@ -1,0 +1,82 @@
+#include "graph/components.h"
+
+#include <unordered_map>
+
+#include "graph/union_find.h"
+
+namespace wsd {
+
+ComponentSummary AnalyzeComponents(const BipartiteGraph& graph) {
+  const uint32_t n_ent = graph.num_entities();
+  UnionFind uf(graph.num_nodes());
+  for (uint32_t e = 0; e < n_ent; ++e) {
+    for (uint32_t s : graph.SitesOf(e)) {
+      uf.Union(e, n_ent + s);
+    }
+  }
+
+  // Tally entities and sites per root, skipping zero-degree nodes.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> tally;
+  for (uint32_t e = 0; e < n_ent; ++e) {
+    if (graph.EntityDegree(e) == 0) continue;
+    ++tally[uf.Find(e)].first;
+  }
+  for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+    if (graph.SiteDegree(s) == 0) continue;
+    ++tally[uf.Find(n_ent + s)].second;
+  }
+
+  ComponentSummary out;
+  out.num_components = static_cast<uint32_t>(tally.size());
+  for (const auto& [root, counts] : tally) {
+    if (counts.first > out.largest_component_entities) {
+      out.largest_component_entities = counts.first;
+      out.largest_component_sites = counts.second;
+    }
+  }
+  if (graph.num_covered_entities() > 0) {
+    out.largest_component_entity_fraction =
+        static_cast<double>(out.largest_component_entities) /
+        static_cast<double>(graph.num_covered_entities());
+  }
+  return out;
+}
+
+ComponentLabels LabelComponents(const BipartiteGraph& graph) {
+  const uint32_t n_ent = graph.num_entities();
+  UnionFind uf(graph.num_nodes());
+  for (uint32_t e = 0; e < n_ent; ++e) {
+    for (uint32_t s : graph.SitesOf(e)) {
+      uf.Union(e, n_ent + s);
+    }
+  }
+
+  ComponentLabels out;
+  out.label.assign(graph.num_nodes(), ComponentLabels::kNoComponent);
+  std::unordered_map<uint32_t, uint32_t> root_to_label;
+  std::vector<uint32_t> entities_per_label;
+  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    const bool has_edges = node < n_ent
+                               ? graph.EntityDegree(node) > 0
+                               : graph.SiteDegree(node - n_ent) > 0;
+    if (!has_edges) continue;
+    const uint32_t root = uf.Find(node);
+    auto [it, inserted] =
+        root_to_label.emplace(root, static_cast<uint32_t>(
+                                        root_to_label.size()));
+    if (inserted) entities_per_label.push_back(0);
+    out.label[node] = it->second;
+    if (node < n_ent) ++entities_per_label[it->second];
+  }
+  out.num_components = static_cast<uint32_t>(root_to_label.size());
+  uint32_t best = 0;
+  for (uint32_t l = 0; l < entities_per_label.size(); ++l) {
+    if (entities_per_label[l] > best) {
+      best = entities_per_label[l];
+      out.largest_label = l;
+    }
+  }
+  return out;
+}
+
+}  // namespace wsd

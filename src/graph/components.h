@@ -1,0 +1,41 @@
+#ifndef WSD_GRAPH_COMPONENTS_H_
+#define WSD_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.h"
+
+namespace wsd {
+
+/// Connected-component statistics of an entity-site graph (§5.3 and the
+/// right half of Table 2). Zero-degree nodes are excluded.
+struct ComponentSummary {
+  uint32_t num_components = 0;
+  /// Entities (not nodes) in the largest component.
+  uint32_t largest_component_entities = 0;
+  /// Fraction of covered entities in the largest component —
+  /// Table 2's "% entities in largest comp".
+  double largest_component_entity_fraction = 0.0;
+  /// Sites in the largest component.
+  uint32_t largest_component_sites = 0;
+};
+
+/// Computes components with a union-find pass over the edges.
+ComponentSummary AnalyzeComponents(const BipartiteGraph& graph);
+
+/// Per-node component labels (kNoComponent for zero-degree nodes) plus the
+/// label of the largest component by entity count. Used by the diameter
+/// computation to restrict BFS to the giant component.
+struct ComponentLabels {
+  static constexpr uint32_t kNoComponent = UINT32_MAX;
+  std::vector<uint32_t> label;  // size = graph.num_nodes()
+  uint32_t num_components = 0;
+  uint32_t largest_label = kNoComponent;
+};
+
+ComponentLabels LabelComponents(const BipartiteGraph& graph);
+
+}  // namespace wsd
+
+#endif  // WSD_GRAPH_COMPONENTS_H_

@@ -1,0 +1,189 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace wsd {
+
+namespace {
+
+constexpr uint32_t kUnvisited = UINT32_MAX;
+
+// Reusable BFS workspace to avoid re-allocating per run.
+struct BfsScratch {
+  std::vector<uint32_t> dist;
+  std::vector<uint32_t> queue;
+};
+
+template <typename Fn>
+void ForEachNeighbor(const BipartiteGraph& g, uint32_t node, Fn&& fn) {
+  const uint32_t n_ent = g.num_entities();
+  if (node < n_ent) {
+    for (uint32_t s : g.SitesOf(node)) fn(n_ent + s);
+  } else {
+    for (uint32_t e : g.EntitiesOf(node - n_ent)) fn(e);
+  }
+}
+
+// Full BFS from `source`; returns (eccentricity, farthest node).
+std::pair<uint32_t, uint32_t> Bfs(const BipartiteGraph& g, uint32_t source,
+                                  BfsScratch& scratch) {
+  scratch.dist.assign(g.num_nodes(), kUnvisited);
+  scratch.queue.clear();
+  scratch.queue.push_back(source);
+  scratch.dist[source] = 0;
+  uint32_t farthest = source;
+  uint32_t ecc = 0;
+  for (size_t head = 0; head < scratch.queue.size(); ++head) {
+    const uint32_t u = scratch.queue[head];
+    const uint32_t du = scratch.dist[u];
+    if (du > ecc) {
+      ecc = du;
+      farthest = u;
+    }
+    ForEachNeighbor(g, u, [&](uint32_t v) {
+      if (scratch.dist[v] == kUnvisited) {
+        scratch.dist[v] = du + 1;
+        scratch.queue.push_back(v);
+      }
+    });
+  }
+  return {ecc, farthest};
+}
+
+// Highest-degree node of the largest component (a good sweep start).
+uint32_t PickStart(const BipartiteGraph& g, const ComponentLabels& labels) {
+  uint32_t best = kUnvisited;
+  uint64_t best_degree = 0;
+  for (uint32_t node = 0; node < g.num_nodes(); ++node) {
+    if (labels.label[node] != labels.largest_label) continue;
+    const uint64_t degree = node < g.num_entities()
+                                ? g.EntityDegree(node)
+                                : g.SiteDegree(node - g.num_entities());
+    if (best == kUnvisited || degree > best_degree) {
+      best = node;
+      best_degree = degree;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+uint32_t Eccentricity(const BipartiteGraph& graph, uint32_t node) {
+  BfsScratch scratch;
+  return Bfs(graph, node, scratch).first;
+}
+
+DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs) {
+  DiameterResult result;
+  const ComponentLabels labels = LabelComponents(graph);
+  if (labels.largest_label == ComponentLabels::kNoComponent) {
+    return result;  // empty graph
+  }
+  for (uint32_t label : labels.label) {
+    if (label == labels.largest_label) ++result.component_nodes;
+  }
+
+  BfsScratch scratch;
+  const uint32_t start = PickStart(graph, labels);
+  WSD_CHECK(start != kUnvisited);
+
+  // Double sweep: lb = ecc(a) where a is the far end of the first sweep.
+  auto [d0, a] = Bfs(graph, start, scratch);
+  (void)d0;
+  auto [lb, b] = Bfs(graph, a, scratch);
+  result.bfs_runs = 2;
+
+  // Midpoint of the a-b path as iFUB root: re-run BFS from b with parents
+  // implied by distance arrays. We already have dist-from-a in scratch
+  // only for the second sweep... recompute from b and walk to the middle.
+  std::vector<uint32_t> dist_a = scratch.dist;  // distances from a
+  auto [ecc_b, c] = Bfs(graph, b, scratch);
+  (void)ecc_b;
+  (void)c;
+  ++result.bfs_runs;
+  // Node on the a-b shortest path at distance ~lb/2 from b: any node v
+  // with dist_a[v] + dist_b[v] == lb and dist_b[v] == lb/2.
+  uint32_t root = b;
+  const uint32_t half = lb / 2;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    if (scratch.dist[v] == half && dist_a[v] != kUnvisited &&
+        dist_a[v] + scratch.dist[v] == lb) {
+      root = v;
+      break;
+    }
+  }
+
+  // BFS tree from the root; collect level sets.
+  auto [depth, far_r] = Bfs(graph, root, scratch);
+  (void)far_r;
+  ++result.bfs_runs;
+  uint32_t lower = std::max(lb, depth);
+  uint32_t upper = 2 * depth;
+  if (lower == upper) {
+    result.diameter = lower;
+    return result;
+  }
+
+  std::vector<std::vector<uint32_t>> levels(depth + 1);
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    if (scratch.dist[v] != kUnvisited) levels[scratch.dist[v]].push_back(v);
+  }
+  // Within a level, try high-degree nodes first: they raise the lower
+  // bound faster and trigger the early exit sooner.
+  for (auto& level : levels) {
+    std::sort(level.begin(), level.end(), [&](uint32_t x, uint32_t y) {
+      const uint64_t dx = x < graph.num_entities()
+                              ? graph.EntityDegree(x)
+                              : graph.SiteDegree(x - graph.num_entities());
+      const uint64_t dy = y < graph.num_entities()
+                              ? graph.EntityDegree(y)
+                              : graph.SiteDegree(y - graph.num_entities());
+      return dx > dy;
+    });
+  }
+
+  BfsScratch ecc_scratch;
+  for (uint32_t i = depth; i >= 1 && lower < upper; --i) {
+    // Process all of level i; only lower == upper is a safe early exit
+    // inside the level (other level-i nodes may reach ecc up to 2*i).
+    for (uint32_t v : levels[i]) {
+      if (result.bfs_runs >= max_bfs) {
+        result.diameter = lower;
+        result.exact = false;
+        return result;
+      }
+      const uint32_t ecc = Bfs(graph, v, ecc_scratch).first;
+      ++result.bfs_runs;
+      lower = std::max(lower, ecc);
+      if (lower == upper) break;
+    }
+    // iFUB invariant: every node at level < i has eccentricity
+    // <= 2*(i-1), so once the lower bound reaches that, deeper levels
+    // cannot improve it.
+    if (lower >= 2 * (i - 1)) break;
+    upper = std::min(upper, 2 * (i - 1));
+  }
+  result.diameter = lower;
+  return result;
+}
+
+DiameterResult AllPairsDiameter(const BipartiteGraph& graph) {
+  DiameterResult result;
+  const ComponentLabels labels = LabelComponents(graph);
+  if (labels.largest_label == ComponentLabels::kNoComponent) return result;
+  BfsScratch scratch;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    if (labels.label[v] != labels.largest_label) continue;
+    ++result.component_nodes;
+    const uint32_t ecc = Bfs(graph, v, scratch).first;
+    ++result.bfs_runs;
+    result.diameter = std::max(result.diameter, ecc);
+  }
+  return result;
+}
+
+}  // namespace wsd

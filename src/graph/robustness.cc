@@ -1,0 +1,70 @@
+#include "graph/robustness.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/union_find.h"
+
+namespace wsd {
+
+std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
+                                             uint32_t max_removed) {
+  const uint32_t n_ent = graph.num_entities();
+  const std::vector<uint32_t> order = graph.SitesByDegreeDesc();
+  const uint32_t limit =
+      std::min<uint32_t>(max_removed, graph.num_sites());
+
+  std::vector<RobustnessPoint> out;
+  out.reserve(limit + 1);
+  std::unordered_set<uint32_t> removed;
+  for (uint32_t k = 0; k <= limit; ++k) {
+    if (k > 0) removed.insert(order[k - 1]);
+
+    UnionFind uf(graph.num_nodes());
+    for (uint32_t e = 0; e < n_ent; ++e) {
+      for (uint32_t s : graph.SitesOf(e)) {
+        if (removed.contains(s)) continue;
+        uf.Union(e, n_ent + s);
+      }
+    }
+
+    std::unordered_map<uint32_t, uint32_t> entities_per_root;
+    uint32_t isolated_entities = 0;  // covered entities with no surviving site
+    for (uint32_t e = 0; e < n_ent; ++e) {
+      if (graph.EntityDegree(e) == 0) continue;
+      bool has_surviving_site = false;
+      for (uint32_t s : graph.SitesOf(e)) {
+        if (!removed.contains(s)) {
+          has_surviving_site = true;
+          break;
+        }
+      }
+      if (!has_surviving_site) {
+        ++isolated_entities;
+        continue;
+      }
+      ++entities_per_root[uf.Find(e)];
+    }
+    // Count surviving sites' singleton components too.
+    std::unordered_set<uint32_t> roots;
+    for (const auto& [root, count] : entities_per_root) roots.insert(root);
+
+    RobustnessPoint point;
+    point.removed_sites = k;
+    point.num_components =
+        static_cast<uint32_t>(roots.size()) + isolated_entities;
+    uint32_t largest = 0;
+    for (const auto& [root, count] : entities_per_root) {
+      largest = std::max(largest, count);
+    }
+    if (graph.num_covered_entities() > 0) {
+      point.largest_component_entity_fraction =
+          static_cast<double>(largest) /
+          static_cast<double>(graph.num_covered_entities());
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace wsd

@@ -1,0 +1,30 @@
+#ifndef WSD_GRAPH_ROBUSTNESS_H_
+#define WSD_GRAPH_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.h"
+
+namespace wsd {
+
+/// One point of the Fig 9 robustness sweep: connectivity after removing
+/// the `removed_sites` largest sites.
+struct RobustnessPoint {
+  uint32_t removed_sites = 0;
+  uint32_t num_components = 0;
+  /// Fraction of *covered* entities (degree >= 1 in the original graph)
+  /// that remain in the largest component. Entities whose every site was
+  /// removed count as outside it.
+  double largest_component_entity_fraction = 0.0;
+};
+
+/// Re-examines connectivity "after removing from them the k largest web
+/// sites (sorted by the number of entity mentions)" (§5.3) for k = 0 ..
+/// max_removed. One union-find pass per k.
+std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
+                                             uint32_t max_removed);
+
+}  // namespace wsd
+
+#endif  // WSD_GRAPH_ROBUSTNESS_H_

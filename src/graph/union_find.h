@@ -1,0 +1,39 @@
+#ifndef WSD_GRAPH_UNION_FIND_H_
+#define WSD_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsd {
+
+/// Disjoint-set forest with path halving and union by size. Used for
+/// connected-component analyses of the entity-site graphs (§5).
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n);
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Size of x's set.
+  uint32_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+  uint32_t num_elements() const {
+    return static_cast<uint32_t>(parent_.size());
+  }
+
+  /// Number of distinct sets (including singletons).
+  uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  uint32_t num_sets_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_GRAPH_UNION_FIND_H_

@@ -1,0 +1,24 @@
+#ifndef WSD_HTML_CHAR_REF_H_
+#define WSD_HTML_CHAR_REF_H_
+
+#include <string>
+#include <string_view>
+
+namespace wsd {
+namespace html {
+
+/// Decodes HTML character references in `s`: the named entities that occur
+/// in practice on listing pages (&amp; &lt; &gt; &quot; &apos; &nbsp;
+/// &copy; &mdash; &ndash; &hellip; &middot; &bull; &amp;#NN; and
+/// &amp;#xHH;). Unknown references are passed through verbatim, matching
+/// lenient browser behavior. Output is UTF-8.
+std::string DecodeCharRefs(std::string_view s);
+
+/// Escapes the five characters that must be encoded in HTML text and
+/// attribute values: & < > " '.
+std::string EscapeHtml(std::string_view s);
+
+}  // namespace html
+}  // namespace wsd
+
+#endif  // WSD_HTML_CHAR_REF_H_

@@ -1,0 +1,148 @@
+#include "html/dom.h"
+
+#include <array>
+
+#include "html/char_ref.h"
+#include "util/string_util.h"
+
+namespace wsd {
+namespace html {
+
+namespace {
+
+bool IsVoidElement(std::string_view tag) {
+  static constexpr std::array<std::string_view, 10> kVoid = {
+      "br", "img", "meta", "link", "hr", "input", "area", "base", "col",
+      "wbr"};
+  for (std::string_view v : kVoid) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+// Elements where a new sibling of the same tag implicitly closes the
+// previous one (the common unclosed-<p>/<li> pattern).
+bool IsAutoClosing(std::string_view tag) {
+  return tag == "p" || tag == "li" || tag == "tr" || tag == "td" ||
+         tag == "th" || tag == "option";
+}
+
+bool IsBlockElement(std::string_view tag) {
+  static constexpr std::array<std::string_view, 16> kBlock = {
+      "p",  "div", "li",  "ul",  "ol",    "table", "tr",     "td",
+      "th", "h1",  "h2",  "h3",  "h4",    "br",    "section", "article"};
+  for (std::string_view v : kBlock) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+void InnerTextRec(const Node& node, std::string* out) {
+  if (node.kind == Node::Kind::kText) {
+    out->append(node.text);
+    return;
+  }
+  if (node.kind == Node::Kind::kElement &&
+      (node.tag == "script" || node.tag == "style")) {
+    return;  // non-rendered content
+  }
+  const bool block = IsBlockElement(node.tag);
+  if (block && !out->empty() && out->back() != ' ') out->push_back(' ');
+  for (const auto& child : node.children) InnerTextRec(*child, out);
+  if (block && !out->empty() && out->back() != ' ') out->push_back(' ');
+}
+
+}  // namespace
+
+const std::string* Node::FindAttribute(std::string_view name) const {
+  for (const TagAttribute& attr : attributes) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+void Node::CollectByTag(std::string_view tag_name,
+                        std::vector<const Node*>* out) const {
+  for (const auto& child : children) {
+    if (child->kind == Kind::kElement) {
+      if (child->tag == tag_name) out->push_back(child.get());
+      child->CollectByTag(tag_name, out);
+    }
+  }
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  InnerTextRec(*this, &out);
+  // Collapse the boundary spaces we inserted at the edges.
+  std::string_view trimmed = Trim(out);
+  return std::string(trimmed);
+}
+
+std::vector<const Node*> Document::ElementsByTag(
+    std::string_view tag_name) const {
+  std::vector<const Node*> out;
+  if (root) root->CollectByTag(tag_name, &out);
+  return out;
+}
+
+Document ParseDocument(std::string_view html) {
+  Document doc;
+  doc.root = std::make_unique<Node>();
+  doc.root->kind = Node::Kind::kElement;
+  doc.root->tag = "#document";
+
+  std::vector<Node*> open_stack = {doc.root.get()};
+  Tokenizer tokenizer(html);
+  Token token;
+  while (tokenizer.Next(&token)) {
+    Node* top = open_stack.back();
+    switch (token.type) {
+      case TokenType::kText: {
+        std::string decoded = DecodeCharRefs(token.text);
+        if (decoded.empty()) break;
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kText;
+        node->text = std::move(decoded);
+        node->parent = top;
+        top->children.push_back(std::move(node));
+        break;
+      }
+      case TokenType::kStartTag: {
+        if (IsAutoClosing(token.text) && top->tag == token.text) {
+          open_stack.pop_back();
+          top = open_stack.back();
+        }
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kElement;
+        node->tag = token.text;
+        node->attributes = token.attributes;
+        node->parent = top;
+        Node* raw = node.get();
+        top->children.push_back(std::move(node));
+        if (!token.self_closing && !IsVoidElement(raw->tag)) {
+          open_stack.push_back(raw);
+        }
+        break;
+      }
+      case TokenType::kEndTag: {
+        // Close the nearest matching open element; drop the tag if none
+        // matches (browser-style error recovery).
+        for (size_t i = open_stack.size(); i > 1; --i) {
+          if (open_stack[i - 1]->tag == token.text) {
+            open_stack.resize(i - 1);
+            break;
+          }
+        }
+        break;
+      }
+      case TokenType::kComment:
+      case TokenType::kDoctype:
+        break;  // not materialized in the tree
+    }
+  }
+  return doc;
+}
+
+}  // namespace html
+}  // namespace wsd

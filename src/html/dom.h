@@ -1,0 +1,56 @@
+#ifndef WSD_HTML_DOM_H_
+#define WSD_HTML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace wsd {
+namespace html {
+
+/// A lightweight DOM node. Element nodes have a tag and attributes; text
+/// nodes have decoded text. Ownership is by unique_ptr down the tree.
+struct Node {
+  enum class Kind { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  std::string tag;                    // elements: lower-cased tag name
+  std::vector<TagAttribute> attributes;
+  std::string text;                   // text nodes: char-ref-decoded text
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;
+
+  /// Attribute lookup (lower-cased name); nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  /// Depth-first collection of descendant elements with the given tag.
+  void CollectByTag(std::string_view tag_name,
+                    std::vector<const Node*>* out) const;
+
+  /// Concatenated decoded text of all descendant text nodes, with single
+  /// spaces where block boundaries fell.
+  std::string InnerText() const;
+};
+
+/// A parsed document: a synthetic root element ("#document") owning the
+/// top-level nodes.
+struct Document {
+  std::unique_ptr<Node> root;
+
+  std::vector<const Node*> ElementsByTag(std::string_view tag_name) const;
+};
+
+/// Builds a DOM from HTML with a forgiving algorithm: unknown or
+/// mismatched end tags close the nearest matching open element (or are
+/// dropped); void elements (br, img, meta, link, hr, input) never take
+/// children; <p> and <li> auto-close a preceding open sibling of the same
+/// tag. Never fails on malformed input.
+Document ParseDocument(std::string_view html);
+
+}  // namespace html
+}  // namespace wsd
+
+#endif  // WSD_HTML_DOM_H_

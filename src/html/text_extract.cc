@@ -1,0 +1,107 @@
+#include "html/text_extract.h"
+
+#include "html/char_ref.h"
+#include "html/tokenizer.h"
+
+namespace wsd {
+namespace html {
+
+namespace {
+
+bool IsBlockBoundary(std::string_view tag) {
+  return tag == "p" || tag == "div" || tag == "li" || tag == "ul" ||
+         tag == "ol" || tag == "table" || tag == "tr" || tag == "td" ||
+         tag == "th" || tag == "br" || tag == "h1" || tag == "h2" ||
+         tag == "h3" || tag == "h4" || tag == "section" ||
+         tag == "article" || tag == "body" || tag == "title";
+}
+
+void AppendBoundary(std::string* out) {
+  if (!out->empty() && out->back() != ' ') out->push_back(' ');
+}
+
+}  // namespace
+
+std::string ExtractVisibleText(std::string_view page_html) {
+  Tokenizer tokenizer(page_html);
+  Token token;
+  std::string out;
+  out.reserve(page_html.size() / 4);
+  // Raw-text elements (<script>/<style>) are emitted by the tokenizer as
+  // kText, so track whether the last start tag opened one.
+  bool in_raw_text = false;
+  while (tokenizer.Next(&token)) {
+    switch (token.type) {
+      case TokenType::kText:
+        if (!in_raw_text) out.append(DecodeCharRefs(token.text));
+        break;
+      case TokenType::kStartTag:
+        in_raw_text =
+            !token.self_closing &&
+            (token.text == "script" || token.text == "style");
+        if (IsBlockBoundary(token.text)) AppendBoundary(&out);
+        break;
+      case TokenType::kEndTag:
+        in_raw_text = false;
+        if (IsBlockBoundary(token.text)) AppendBoundary(&out);
+        break;
+      case TokenType::kComment:
+      case TokenType::kDoctype:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<AnchorLink> ExtractAnchors(std::string_view page_html) {
+  Tokenizer tokenizer(page_html);
+  Token token;
+  std::vector<AnchorLink> anchors;
+  bool in_anchor = false;
+  std::string current_text;
+  while (tokenizer.Next(&token)) {
+    switch (token.type) {
+      case TokenType::kStartTag:
+        if (token.text == "a") {
+          // Nested <a> is invalid HTML; treat a new <a> as closing the
+          // previous one, matching browser recovery.
+          if (in_anchor && !anchors.empty()) {
+            anchors.back().text = DecodeCharRefs(current_text);
+          }
+          AnchorLink link;
+          for (const TagAttribute& attr : token.attributes) {
+            if (attr.name == "href") {
+              link.href = DecodeCharRefs(attr.value);
+              break;
+            }
+          }
+          anchors.push_back(std::move(link));
+          current_text.clear();
+          in_anchor = !token.self_closing;
+        }
+        break;
+      case TokenType::kEndTag:
+        if (token.text == "a" && in_anchor) {
+          if (!anchors.empty()) {
+            anchors.back().text = DecodeCharRefs(current_text);
+          }
+          in_anchor = false;
+          current_text.clear();
+        }
+        break;
+      case TokenType::kText:
+        if (in_anchor) current_text.append(token.text);
+        break;
+      case TokenType::kComment:
+      case TokenType::kDoctype:
+        break;
+    }
+  }
+  if (in_anchor && !anchors.empty()) {
+    anchors.back().text = DecodeCharRefs(current_text);
+  }
+  return anchors;
+}
+
+}  // namespace html
+}  // namespace wsd

@@ -1,0 +1,32 @@
+#ifndef WSD_HTML_TEXT_EXTRACT_H_
+#define WSD_HTML_TEXT_EXTRACT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+namespace html {
+
+/// An anchor found on a page: its raw href value (char refs decoded) and
+/// its link text.
+struct AnchorLink {
+  std::string href;
+  std::string text;
+};
+
+/// Extracts the visible text of a page — the concatenated text outside of
+/// tags, scripts and styles, with char refs decoded and block boundaries
+/// rendered as single spaces. Streaming (no DOM build); this is the hot
+/// path of the cache scan.
+std::string ExtractVisibleText(std::string_view page_html);
+
+/// Extracts every <a href=...> on the page, in document order. This is
+/// the homepage-attribute signal ("we looked at the content of href tags
+/// of all anchor nodes", paper §3.2).
+std::vector<AnchorLink> ExtractAnchors(std::string_view page_html);
+
+}  // namespace html
+}  // namespace wsd
+
+#endif  // WSD_HTML_TEXT_EXTRACT_H_

@@ -1,0 +1,208 @@
+#include "html/tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace wsd {
+namespace html {
+
+namespace {
+
+bool IsTagNameChar(char c) {
+  return IsAlnum(c) || c == '-' || c == ':';
+}
+
+// Finds the end of a tag ('>') starting after '<', honoring quoted
+// attribute values that may contain '>'. Returns npos if unterminated.
+size_t FindTagEnd(std::string_view s, size_t start) {
+  char quote = 0;
+  for (size_t i = start; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '>') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Case-insensitive search for `needle` (ASCII) in `haystack` from `from`.
+size_t FindCaseInsensitive(std::string_view haystack, std::string_view needle,
+                           size_t from) {
+  if (needle.empty() || haystack.size() < needle.size()) {
+    return std::string_view::npos;
+  }
+  const size_t limit = haystack.size() - needle.size();
+  for (size_t i = from; i <= limit; ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (ToLowerChar(haystack[i + j]) != ToLowerChar(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return i;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+bool Tokenizer::Next(Token* token) {
+  token->attributes.clear();
+  token->self_closing = false;
+
+  if (!raw_text_element_.empty()) {
+    Token raw;
+    if (LexRawText(raw_text_element_, &raw)) {
+      *token = std::move(raw);
+      return true;
+    }
+    // Raw content was empty; fall through to lex the close tag.
+  }
+
+  if (pos_ >= input_.size()) return false;
+
+  if (input_[pos_] != '<') {
+    const size_t next_lt = input_.find('<', pos_);
+    const size_t end = next_lt == std::string_view::npos ? input_.size()
+                                                         : next_lt;
+    token->type = TokenType::kText;
+    token->text.assign(input_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+  return LexTag(token);
+}
+
+bool Tokenizer::LexRawText(std::string_view element, Token* token) {
+  // Content runs until "</element" (case-insensitive); browsers accept
+  // anything after the name up to '>'.
+  const std::string close = "</" + std::string(element);
+  const size_t close_pos = FindCaseInsensitive(input_, close, pos_);
+  const size_t end =
+      close_pos == std::string_view::npos ? input_.size() : close_pos;
+  raw_text_element_.clear();
+  if (end == pos_) return false;  // nothing between open and close tags
+  token->type = TokenType::kText;
+  token->text.assign(input_.substr(pos_, end - pos_));
+  pos_ = end;
+  return true;
+}
+
+bool Tokenizer::LexTag(Token* token) {
+  // pos_ is at '<'.
+  const size_t start = pos_;
+  if (StartsWith(input_.substr(start), "<!--")) {
+    const size_t close = input_.find("-->", start + 4);
+    const size_t end =
+        close == std::string_view::npos ? input_.size() : close;
+    token->type = TokenType::kComment;
+    token->text.assign(input_.substr(start + 4, end - start - 4));
+    pos_ = close == std::string_view::npos ? input_.size() : close + 3;
+    return true;
+  }
+  if (start + 1 < input_.size() && input_[start + 1] == '!') {
+    const size_t close = input_.find('>', start);
+    const size_t end = close == std::string_view::npos ? input_.size()
+                                                       : close;
+    token->type = TokenType::kDoctype;
+    token->text.assign(input_.substr(start + 2, end - start - 2));
+    pos_ = close == std::string_view::npos ? input_.size() : close + 1;
+    return true;
+  }
+
+  const bool is_end_tag =
+      start + 1 < input_.size() && input_[start + 1] == '/';
+  const size_t name_start = start + (is_end_tag ? 2 : 1);
+  if (name_start >= input_.size() || !IsAlpha(input_[name_start])) {
+    // A stray '<' (e.g. "1 < 2"): emit it as text and resynchronize.
+    token->type = TokenType::kText;
+    token->text = "<";
+    ++pos_;
+    return true;
+  }
+
+  const size_t gt = FindTagEnd(input_, name_start);
+  if (gt == std::string_view::npos) {
+    // Unterminated tag at EOF: swallow the rest as text, like browsers.
+    token->type = TokenType::kText;
+    token->text.assign(input_.substr(start));
+    pos_ = input_.size();
+    return true;
+  }
+
+  size_t name_end = name_start;
+  while (name_end < gt && IsTagNameChar(input_[name_end])) ++name_end;
+  token->text = ToLower(input_.substr(name_start, name_end - name_start));
+
+  if (is_end_tag) {
+    token->type = TokenType::kEndTag;
+  } else {
+    token->type = TokenType::kStartTag;
+    std::string_view body = input_.substr(name_end, gt - name_end);
+    if (!body.empty() && body.back() == '/') {
+      token->self_closing = true;
+      body.remove_suffix(1);
+    }
+    LexAttributes(body, token);
+    if (!token->self_closing &&
+        (token->text == "script" || token->text == "style")) {
+      raw_text_element_ = token->text;
+    }
+  }
+  pos_ = gt + 1;
+  return true;
+}
+
+void Tokenizer::LexAttributes(std::string_view body, Token* token) {
+  size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() && (IsSpace(body[i]) || body[i] == '/')) ++i;
+    if (i >= body.size()) break;
+
+    const size_t name_start = i;
+    while (i < body.size() && !IsSpace(body[i]) && body[i] != '=' &&
+           body[i] != '/') {
+      ++i;
+    }
+    TagAttribute attr;
+    attr.name = ToLower(body.substr(name_start, i - name_start));
+    if (attr.name.empty()) {
+      ++i;
+      continue;
+    }
+
+    while (i < body.size() && IsSpace(body[i])) ++i;
+    if (i < body.size() && body[i] == '=') {
+      ++i;
+      while (i < body.size() && IsSpace(body[i])) ++i;
+      if (i < body.size() && (body[i] == '"' || body[i] == '\'')) {
+        const char quote = body[i];
+        ++i;
+        const size_t value_start = i;
+        while (i < body.size() && body[i] != quote) ++i;
+        attr.value.assign(body.substr(value_start, i - value_start));
+        if (i < body.size()) ++i;  // closing quote
+      } else {
+        const size_t value_start = i;
+        while (i < body.size() && !IsSpace(body[i])) ++i;
+        attr.value.assign(body.substr(value_start, i - value_start));
+      }
+    }
+    token->attributes.push_back(std::move(attr));
+  }
+}
+
+std::vector<Token> Tokenizer::TokenizeAll(std::string_view input) {
+  Tokenizer tokenizer(input);
+  std::vector<Token> tokens;
+  Token t;
+  while (tokenizer.Next(&t)) tokens.push_back(t);
+  return tokens;
+}
+
+}  // namespace html
+}  // namespace wsd

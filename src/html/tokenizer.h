@@ -1,0 +1,68 @@
+#ifndef WSD_HTML_TOKENIZER_H_
+#define WSD_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+namespace html {
+
+/// Kinds of token the streaming tokenizer emits.
+enum class TokenType : int {
+  kStartTag = 0,  // <div class="x"> ; self_closing for <br/>
+  kEndTag,        // </div>
+  kText,          // raw text between tags (char refs NOT yet decoded)
+  kComment,       // <!-- ... -->
+  kDoctype,       // <!DOCTYPE html>
+};
+
+/// One attribute on a start tag. Values are unquoted and raw (char refs
+/// not decoded; callers decode when they care, e.g. href extraction).
+struct TagAttribute {
+  std::string name;   // lower-cased
+  std::string value;  // empty for valueless attributes
+};
+
+/// One token. `text` holds tag name (lower-cased) for tags, text content
+/// for kText/kComment, and the raw declaration for kDoctype.
+struct Token {
+  TokenType type = TokenType::kText;
+  std::string text;
+  std::vector<TagAttribute> attributes;
+  bool self_closing = false;
+};
+
+/// A forgiving, allocation-light streaming HTML tokenizer sufficient for
+/// crawled listing pages: handles attributes in single/double/no quotes,
+/// comments, doctype, and raw-text elements (<script>, <style>) whose
+/// content is emitted as a single kText token and never parsed for tags.
+/// Malformed input never fails; the tokenizer resynchronizes at the next
+/// '<' like browsers do.
+class Tokenizer {
+ public:
+  /// `input` must outlive the tokenizer.
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  /// Fetches the next token. Returns false at end of input.
+  bool Next(Token* token);
+
+  /// Convenience: tokenizes an entire document.
+  static std::vector<Token> TokenizeAll(std::string_view input);
+
+ private:
+  bool LexTag(Token* token);
+  void LexAttributes(std::string_view tag_body, Token* token);
+  bool LexRawText(std::string_view element, Token* token);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  // Non-empty while inside <script>/<style>: the element whose closing tag
+  // ends raw-text mode.
+  std::string raw_text_element_;
+};
+
+}  // namespace html
+}  // namespace wsd
+
+#endif  // WSD_HTML_TOKENIZER_H_

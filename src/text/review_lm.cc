@@ -1,0 +1,165 @@
+#include "text/review_lm.h"
+
+#include <array>
+#include <string_view>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace wsd {
+namespace text {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kPositive = {
+    "amazing", "fantastic", "delicious", "friendly", "cozy", "excellent",
+    "wonderful", "delightful", "superb", "charming", "outstanding",
+    "lovely"};
+
+constexpr std::array<std::string_view, 10> kNegative = {
+    "disappointing", "bland", "slow", "overpriced", "noisy",
+    "mediocre",      "rude",  "stale", "cramped",   "forgettable"};
+
+constexpr std::array<std::string_view, 10> kAspects = {
+    "food",  "service", "ambiance", "staff",   "prices",
+    "menu",  "portions", "decor",   "location", "selection"};
+
+constexpr std::array<std::string_view, 8> kVisitWords = {
+    "visited", "stopped by", "came here", "dined here",
+    "tried",   "went back",  "dropped in", "ordered takeout"};
+
+constexpr std::array<std::string_view, 6> kTimeWords = {
+    "last week",   "yesterday",     "on a friday night",
+    "for brunch",  "over the weekend", "on our anniversary"};
+
+constexpr std::array<std::string_view, 8> kBoilerCategories = {
+    "restaurants", "hotels",   "banks",   "schools",
+    "auto repair", "shopping", "libraries", "home services"};
+
+template <size_t N>
+std::string_view Pick(Rng& rng, const std::array<std::string_view, N>& arr) {
+  return arr[rng.Index(N)];
+}
+
+std::string ReviewSentence(Rng& rng, const std::string& subject) {
+  switch (rng.Uniform(6)) {
+    case 0:
+      return StrFormat("I %s %s and the %s was absolutely %s.",
+                       std::string(Pick(rng, kVisitWords)).c_str(),
+                       std::string(Pick(rng, kTimeWords)).c_str(),
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       std::string(Pick(rng, kPositive)).c_str());
+    case 1:
+      return StrFormat("The %s at %s is %s but the %s felt %s.",
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       subject.c_str(),
+                       std::string(Pick(rng, kPositive)).c_str(),
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       std::string(Pick(rng, kNegative)).c_str());
+    case 2:
+      return StrFormat("Would definitely recommend this place, %llu stars "
+                       "from me for the %s %s.",
+                       (unsigned long long)(3 + rng.Uniform(3)),
+                       std::string(Pick(rng, kPositive)).c_str(),
+                       std::string(Pick(rng, kAspects)).c_str());
+    case 3:
+      return StrFormat("Honestly the %s was %s and we waited far too long; "
+                       "probably not coming back.",
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       std::string(Pick(rng, kNegative)).c_str());
+    case 4:
+      return StrFormat("My review: %s exceeded expectations, %s %s and a "
+                       "%s atmosphere.",
+                       subject.c_str(),
+                       std::string(Pick(rng, kPositive)).c_str(),
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       std::string(Pick(rng, kPositive)).c_str());
+    default:
+      return StrFormat("We %s %s; the %s was %s and our server was %s.",
+                       std::string(Pick(rng, kVisitWords)).c_str(),
+                       std::string(Pick(rng, kTimeWords)).c_str(),
+                       std::string(Pick(rng, kAspects)).c_str(),
+                       std::string(Pick(rng, kPositive)).c_str(),
+                       std::string(Pick(rng, kPositive)).c_str());
+  }
+}
+
+std::string BoilerplateSentence(Rng& rng, const std::string& subject) {
+  switch (rng.Uniform(6)) {
+    case 0:
+      return StrFormat("Find hours, directions and contact information "
+                       "for %s.",
+                       subject.c_str());
+    case 1:
+      return StrFormat("%s is listed under %s in our local business "
+                       "directory.",
+                       subject.c_str(),
+                       std::string(Pick(rng, kBoilerCategories)).c_str());
+    case 2:
+      return StrFormat("Open Monday through Saturday from %llu am to "
+                       "%llu pm; holiday hours may vary.",
+                       (unsigned long long)(7 + rng.Uniform(4)),
+                       (unsigned long long)(5 + rng.Uniform(5)));
+    case 3:
+      return StrFormat("Browse nearby %s, get a map, or claim this "
+                       "listing to update business details.",
+                       std::string(Pick(rng, kBoilerCategories)).c_str());
+    case 4:
+      return StrFormat("Categories: %s, %s, and more local listings "
+                       "updated daily.",
+                       std::string(Pick(rng, kBoilerCategories)).c_str(),
+                       std::string(Pick(rng, kBoilerCategories)).c_str());
+    default:
+      return StrFormat("Contact %s for reservations, directions, parking "
+                       "information and accessibility details.",
+                       subject.c_str());
+  }
+}
+
+}  // namespace
+
+std::string GenerateReviewText(Rng& rng, const std::string& subject) {
+  const uint64_t sentences = 1 + rng.Uniform(5);
+  std::string out;
+  for (uint64_t i = 0; i < sentences; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += ReviewSentence(rng, subject);
+  }
+  return out;
+}
+
+std::string GenerateBoilerplateText(Rng& rng, const std::string& subject) {
+  const uint64_t sentences = 1 + rng.Uniform(4);
+  std::string out;
+  for (uint64_t i = 0; i < sentences; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += BoilerplateSentence(rng, subject);
+  }
+  return out;
+}
+
+std::vector<LabeledDoc> MakeTrainingCorpus(Rng& rng, size_t per_class) {
+  std::vector<LabeledDoc> docs;
+  docs.reserve(per_class * 2);
+  for (size_t i = 0; i < per_class; ++i) {
+    const std::string subject = "the " + std::string(kAspects[rng.Index(
+                                             kAspects.size())]) + " place";
+    docs.push_back({GenerateReviewText(rng, subject), true});
+    docs.push_back({GenerateBoilerplateText(rng, subject), false});
+  }
+  return docs;
+}
+
+StatusOr<NaiveBayesClassifier> TrainReviewClassifier(uint64_t seed,
+                                                     size_t per_class) {
+  Rng rng(seed);
+  NaiveBayesClassifier model;
+  for (const LabeledDoc& doc : MakeTrainingCorpus(rng, per_class)) {
+    model.Train(TokenizeForClassification(doc.content), doc.is_review);
+  }
+  WSD_RETURN_IF_ERROR(model.Finalize());
+  return model;
+}
+
+}  // namespace text
+}  // namespace wsd

@@ -1,0 +1,44 @@
+#ifndef WSD_TEXT_REVIEW_LM_H_
+#define WSD_TEXT_REVIEW_LM_H_
+
+#include <string>
+#include <vector>
+
+#include "text/naive_bayes.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace wsd {
+namespace text {
+
+/// Template-based language models for the two page-content classes the
+/// review study needs: user-review prose and directory/listing
+/// boilerplate. The two vocabularies overlap (both mention the entity,
+/// its city, hours, phone numbers) so the Naive Bayes detector faces a
+/// non-trivial separation, as it did on real pages.
+
+/// Generates 1-5 sentences of review-like prose about `subject`.
+std::string GenerateReviewText(Rng& rng, const std::string& subject);
+
+/// Generates listing/boilerplate prose about `subject` (hours, directions,
+/// category links, map text).
+std::string GenerateBoilerplateText(Rng& rng, const std::string& subject);
+
+/// A labeled training document.
+struct LabeledDoc {
+  std::string content;
+  bool is_review = false;
+};
+
+/// Generates a balanced labeled corpus of `per_class` documents per class.
+std::vector<LabeledDoc> MakeTrainingCorpus(Rng& rng, size_t per_class);
+
+/// Trains the review detector used by the extraction pipeline on a
+/// freshly generated corpus. Deterministic in `seed`.
+StatusOr<NaiveBayesClassifier> TrainReviewClassifier(uint64_t seed,
+                                                     size_t per_class = 400);
+
+}  // namespace text
+}  // namespace wsd
+
+#endif  // WSD_TEXT_REVIEW_LM_H_

@@ -1,0 +1,26 @@
+#ifndef WSD_TEXT_TOKENIZER_H_
+#define WSD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsd {
+namespace text {
+
+/// Splits text into lower-cased word tokens: maximal runs of ASCII
+/// letters/digits/apostrophes, with pure-digit runs dropped (numbers carry
+/// no review signal and would collide with identifiers).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for very common English function words that are removed before
+/// classification.
+bool IsStopword(std::string_view word);
+
+/// Tokenize + stopword removal.
+std::vector<std::string> TokenizeForClassification(std::string_view text);
+
+}  // namespace text
+}  // namespace wsd
+
+#endif  // WSD_TEXT_TOKENIZER_H_

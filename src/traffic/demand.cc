@@ -1,0 +1,55 @@
+#include "traffic/demand.h"
+
+#include <algorithm>
+
+namespace wsd {
+
+DemandEstimator::DemandEstimator(TrafficSite site, uint32_t num_entities)
+    : site_(site), num_entities_(num_entities) {}
+
+void DemandEstimator::Consume(const VisitEvent& event) {
+  ++consumed_;
+  const auto key = ParseEntityUrl(event.url);
+  if (!key.has_value() || key->site != site_ ||
+      key->entity_index >= num_entities_) {
+    ++skipped_;
+    return;
+  }
+  if (event.channel == TrafficChannel::kSearch) {
+    search_keys_.push_back({key->entity_index, event.month, event.cookie});
+  } else {
+    browse_keys_.push_back({key->entity_index, 0xff, event.cookie});
+  }
+}
+
+DemandTable DemandEstimator::Finalize() {
+  DemandTable table;
+  table.site = site_;
+  table.events_consumed = consumed_;
+  table.events_skipped = skipped_;
+  table.search_demand.assign(num_entities_, 0.0);
+  table.browse_demand.assign(num_entities_, 0.0);
+
+  auto dedupe_count = [this](std::vector<Key>& keys,
+                             std::vector<double>& out) {
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      if (a.entity != b.entity) return a.entity < b.entity;
+      if (a.month != b.month) return a.month < b.month;
+      return a.cookie < b.cookie;
+    });
+    const Key* prev = nullptr;
+    for (const Key& k : keys) {
+      const bool dup = prev != nullptr && prev->entity == k.entity &&
+                       prev->month == k.month && prev->cookie == k.cookie;
+      if (!dup) out[k.entity] += 1.0;
+      prev = &k;
+    }
+    keys.clear();
+    keys.shrink_to_fit();
+  };
+  dedupe_count(search_keys_, table.search_demand);
+  dedupe_count(browse_keys_, table.browse_demand);
+  return table;
+}
+
+}  // namespace wsd

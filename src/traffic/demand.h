@@ -1,0 +1,54 @@
+#ifndef WSD_TRAFFIC_DEMAND_H_
+#define WSD_TRAFFIC_DEMAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/traffic_log.h"
+#include "traffic/url_patterns.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Estimated demand per entity of one site: "we use unique (anonymized)
+/// cookies as a proxy for unique users, and define the demand for a URL
+/// (and hence the entity it mentions) as the number of visits from unique
+/// cookies" (§4.1). Search demand deduplicates cookies per month; browse
+/// demand per year (the paper's footnote 2).
+struct DemandTable {
+  TrafficSite site = TrafficSite::kYelp;
+  std::vector<double> search_demand;  // per entity
+  std::vector<double> browse_demand;  // per entity
+  uint64_t events_consumed = 0;
+  uint64_t events_skipped = 0;  // URLs that matched no entity pattern
+};
+
+/// Accumulates visit events (any order, both channels interleaved) and
+/// produces per-entity demand estimates.
+class DemandEstimator {
+ public:
+  DemandEstimator(TrafficSite site, uint32_t num_entities);
+
+  void Consume(const VisitEvent& event);
+
+  /// Deduplicates and aggregates. The estimator is spent afterwards.
+  DemandTable Finalize();
+
+ private:
+  struct Key {
+    uint32_t entity;
+    uint8_t month;  // search only; 0xff for browse
+    uint64_t cookie;
+  };
+
+  TrafficSite site_;
+  uint32_t num_entities_;
+  std::vector<Key> search_keys_;
+  std::vector<Key> browse_keys_;
+  uint64_t consumed_ = 0;
+  uint64_t skipped_ = 0;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_TRAFFIC_DEMAND_H_

@@ -1,0 +1,68 @@
+#ifndef WSD_TRAFFIC_REVIEW_MODEL_H_
+#define WSD_TRAFFIC_REVIEW_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/url_patterns.h"
+#include "util/rng.h"
+
+namespace wsd {
+
+/// Population model of one traffic site: each entity's latent popularity
+/// (true demand intensity), plus its user-review count coupled to that
+/// popularity.
+///
+/// Popularity ranks follow Zipf(demand_zipf_s): IMDb sharpest, Yelp
+/// flattest (Fig 6's observation that "a top movie title can be watched by
+/// millions of people at the same time, whereas even the most famous
+/// restaurant can only serve a small number of clients").
+///
+/// Review counts follow a piecewise power law of popularity,
+///   n(k) ~ scale * k^tail_gamma  below the knee,
+///   n(k) ~ (continuous) * k^head_gamma above it,
+/// with lognormal noise. tail_gamma > 1 makes availability decay faster
+/// than demand toward the tail (the paper's Yelp/Amazon finding: VA(n)
+/// decreasing); a small tail_gamma with a large head_gamma produces
+/// IMDb's humped relative value-add (Fig 8).
+struct TrafficSiteParams {
+  TrafficSite site = TrafficSite::kYelp;
+  uint32_t num_entities = 50000;
+  double demand_zipf_s = 0.7;
+  double mean_visits = 24.0;  // mean latent yearly visits per entity
+  double review_tail_gamma = 2.0;
+  double review_head_gamma = 2.0;
+  double review_knee_visits = 1e18;  // knee in latent-visit units; off by default
+  double review_scale = 0.05;       // reviews per (visits^gamma) at the tail
+  double review_noise_sigma = 0.35;
+  uint32_t max_reviews = 20000;
+  /// Exponent warping browse-vs-search skew: browse intensity is
+  /// popularity^browse_exponent (renormalized). <1 flattens the browse
+  /// distribution (personalized recommendation surfacing tail items).
+  double browse_exponent = 1.0;
+};
+
+/// Calibrated defaults for the three §4 sites (anchors: Fig 6's top-20%
+/// demand shares of ~90% IMDb / ~75% Amazon / ~60% Yelp; Fig 8's
+/// decreasing VA for Yelp & Amazon and humped VA for IMDb).
+TrafficSiteParams DefaultTrafficParams(TrafficSite site);
+
+/// The generated population.
+struct SitePopulation {
+  TrafficSiteParams params;
+  /// Latent mean yearly visits per entity (unnormalized demand truth).
+  std::vector<double> popularity;
+  /// Latent browse-channel intensity (popularity warped by
+  /// browse_exponent, rescaled to the same total).
+  std::vector<double> browse_intensity;
+  /// Observed review count per entity.
+  std::vector<uint32_t> reviews;
+};
+
+/// Builds the population deterministically from `seed`.
+SitePopulation BuildPopulation(const TrafficSiteParams& params,
+                               uint64_t seed);
+
+}  // namespace wsd
+
+#endif  // WSD_TRAFFIC_REVIEW_MODEL_H_

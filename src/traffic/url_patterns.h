@@ -1,0 +1,45 @@
+#ifndef WSD_TRAFFIC_URL_PATTERNS_H_
+#define WSD_TRAFFIC_URL_PATTERNS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wsd {
+
+/// The three high-traffic, review-rich sites of the §4 case study.
+enum class TrafficSite : int {
+  kAmazon = 0,  // amazon.com/gp/product/[ID] and amazon.com/*/dp/[ID]
+  kYelp = 1,    // yelp.com/biz/[ID]
+  kImdb = 2,    // imdb.com/title/tt[ID]
+  kNumSites = 3,
+};
+
+std::string_view TrafficSiteName(TrafficSite site);
+
+/// A URL resolved to the structured entity it denotes.
+struct EntityUrlKey {
+  TrafficSite site = TrafficSite::kAmazon;
+  uint32_t entity_index = 0;
+};
+
+/// Canonical entity key strings, mirroring each site's real scheme:
+/// Amazon: 10-character ASIN-like id ("B%09u"); Yelp: business slug
+/// ("biz-%06u"); IMDb: 7-digit title number.
+std::string EntityKeyString(TrafficSite site, uint32_t entity_index);
+
+/// Builds a visitable URL for the entity. Amazon entities alternate
+/// between the /gp/product/ and /*/dp/ forms (both occur in real logs and
+/// both must parse; `variant` selects the form).
+std::string EntityUrl(TrafficSite site, uint32_t entity_index,
+                      uint32_t variant = 0);
+
+/// Recognizes the three URL patterns and extracts the entity index
+/// ("we extracted user clicks on URLs that correspond to a unique
+/// structured entity", §4.1). Returns nullopt for anything else.
+std::optional<EntityUrlKey> ParseEntityUrl(std::string_view url);
+
+}  // namespace wsd
+
+#endif  // WSD_TRAFFIC_URL_PATTERNS_H_

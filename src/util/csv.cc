@@ -1,0 +1,99 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace wsd {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(std::string_view field, char sep) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_.put(sep_);
+    out_ << EscapeField(fields[i], sep_);
+  }
+  out_.put('\n');
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.flush();
+  const bool good = out_.good();
+  out_.close();
+  if (!good) return Status::IOError("write failure on CSV output");
+  return Status::OK();
+}
+
+std::vector<std::string> ParseCsvLine(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    rows.push_back(ParseCsvLine(line, sep));
+  }
+  if (in.bad()) return Status::IOError("read failure on: " + path);
+  return rows;
+}
+
+}  // namespace wsd

@@ -1,0 +1,52 @@
+#ifndef WSD_UTIL_CSV_H_
+#define WSD_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Minimal RFC-4180-style CSV/TSV writer. Fields containing the separator,
+/// quotes or newlines are quoted; embedded quotes are doubled. Reports emit
+/// TSV by default (separator '\t') because figure series go straight into
+/// plotting tools.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char separator = '\t') : sep_(separator) {}
+
+  /// Opens `path` for writing, truncating.
+  Status Open(const std::string& path);
+
+  /// Writes one record. No-op failure is surfaced by Close().
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; returns an error if any write failed.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Escapes a single field per the writer's rules (exposed for tests).
+  static std::string EscapeField(std::string_view field, char sep);
+
+ private:
+  char sep_;
+  std::ofstream out_;
+};
+
+/// Parses one CSV record (no embedded newlines across rows in our data).
+/// Handles quoted fields with doubled quotes.
+std::vector<std::string> ParseCsvLine(std::string_view line, char sep);
+
+/// Reads an entire CSV/TSV file into rows of fields. Lines are split on
+/// '\n'; a trailing '\r' is stripped. Empty trailing line is ignored.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep);
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_CSV_H_

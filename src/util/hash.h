@@ -1,0 +1,39 @@
+#ifndef WSD_UTIL_HASH_H_
+#define WSD_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace wsd {
+
+/// 64-bit FNV-1a over bytes. Deterministic across platforms (used to key
+/// hash-partitioned pipelines and to derive per-shard seeds, so stability
+/// matters more than raw speed here).
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit integer mix (the finalizer from SplitMix64 / Murmur3).
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Boost-style combine of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_HASH_H_

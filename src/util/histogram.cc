@@ -1,0 +1,104 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = count_ + other.count_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Log2Histogram::Log2Histogram(int max_bucket) : max_bucket_(max_bucket) {
+  WSD_CHECK(max_bucket >= 0);
+  counts_.assign(static_cast<size_t>(max_bucket_) + 1, 0);
+  weights_.assign(static_cast<size_t>(max_bucket_) + 1, 0.0);
+}
+
+int Log2Histogram::BucketOf(uint64_t v) const {
+  // floor(log2(v + 1)), capped at the final bucket.
+  int b = 0;
+  uint64_t x = v + 1;
+  while (x > 1) {
+    x >>= 1;
+    ++b;
+  }
+  return std::min(b, max_bucket_);
+}
+
+std::pair<uint64_t, uint64_t> Log2Histogram::BucketRange(int b) const {
+  WSD_CHECK(b >= 0 && b <= max_bucket_);
+  const uint64_t lo = (1ULL << b) - 1;
+  if (b == max_bucket_) return {lo, UINT64_MAX};
+  const uint64_t hi = (1ULL << (b + 1)) - 2;
+  return {lo, hi};
+}
+
+void Log2Histogram::Add(uint64_t v, double weight) {
+  const int b = BucketOf(v);
+  ++counts_[b];
+  weights_[b] += weight;
+}
+
+double Log2Histogram::bucket_mean(int b) const {
+  WSD_CHECK(b >= 0 && b <= max_bucket_);
+  if (counts_[b] == 0) return 0.0;
+  return weights_[b] / static_cast<double>(counts_[b]);
+}
+
+std::string Log2Histogram::BucketLabel(int b) const {
+  auto [lo, hi] = BucketRange(b);
+  if (hi == UINT64_MAX) return StrFormat("%llu+", (unsigned long long)lo);
+  if (lo == hi) return StrFormat("%llu", (unsigned long long)lo);
+  return StrFormat("%llu-%llu", (unsigned long long)lo,
+                   (unsigned long long)hi);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  WSD_CHECK(!values.empty());
+  WSD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace wsd

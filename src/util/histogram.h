@@ -1,0 +1,77 @@
+#ifndef WSD_UTIL_HISTOGRAM_H_
+#define WSD_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsd {
+
+/// Streaming summary statistics (count / mean / variance via Welford,
+/// min / max). Used throughout the analyses and benches.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over non-negative integers with power-of-two buckets:
+/// {0}, {1,2}, {3..6}, {7..14}, ... — i.e., bucket b holds values v with
+/// floor(log2(v+1)) == b. This is exactly the paper's Fig 7/8 grouping
+/// ("entities with 0 reviews form the first group, entities with 1-2
+/// reviews form the second, and so on; 1023 or more form the final
+/// group").
+class Log2Histogram {
+ public:
+  /// `max_bucket` is the index of the final, open-ended bucket
+  /// (paper: 10, so values >= 1023 pool together).
+  explicit Log2Histogram(int max_bucket = 10);
+
+  /// Bucket index for value v (>= 0).
+  int BucketOf(uint64_t v) const;
+
+  /// Inclusive value range [lo, hi] of bucket b; hi == UINT64_MAX for the
+  /// final bucket.
+  std::pair<uint64_t, uint64_t> BucketRange(int b) const;
+
+  /// Adds an observation of `weight` at integer position v.
+  void Add(uint64_t v, double weight = 1.0);
+
+  int num_buckets() const { return max_bucket_ + 1; }
+  uint64_t bucket_count(int b) const { return counts_[b]; }
+  double bucket_weight(int b) const { return weights_[b]; }
+
+  /// Mean weight per observation in bucket b (0 when empty).
+  double bucket_mean(int b) const;
+
+  /// Human-readable label, e.g. "3-6" or "1023+".
+  std::string BucketLabel(int b) const;
+
+ private:
+  int max_bucket_;
+  std::vector<uint64_t> counts_;
+  std::vector<double> weights_;
+};
+
+/// Computes the q-quantile (0 <= q <= 1) of `values` by sorting a copy.
+/// Linear interpolation between order statistics.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,76 @@
+#ifndef WSD_UTIL_LOGGING_H_
+#define WSD_UTIL_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wsd {
+
+/// Severity levels for the library logger. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is emitted (default kInfo). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr. Exposed for the macros below;
+/// not intended for direct use.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Stream-collecting helper behind WSD_LOG. Emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() {
+    LogMessage(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: WSD_LOG(kInfo) << "scanned " << n << " pages";
+#define WSD_LOG(severity)                                            \
+  ::wsd::internal::LogStream(::wsd::LogLevel::severity, __FILE__, __LINE__)
+
+/// Unconditionally-checked invariant; aborts with a message on failure.
+/// Used for programmer errors, not for data-dependent failures (those
+/// return Status).
+#define WSD_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  ::wsd::internal::LogStream(::wsd::LogLevel::kFatal, __FILE__,      \
+                             __LINE__)                               \
+      << "Check failed: " #cond " "
+
+#define WSD_DCHECK(cond) assert(cond)
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_LOGGING_H_

@@ -1,0 +1,81 @@
+#ifndef WSD_UTIL_STATUSOR_H_
+#define WSD_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace wsd {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Mirrors absl::StatusOr semantics at the subset the
+/// library needs.
+///
+/// Accessors `value()`/`operator*` must only be called when `ok()`; this is
+/// checked with assert in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error (there would be no value); it is coerced to
+  /// kInternal to keep the invariant "ok() implies has value".
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating the error or moving the
+/// value into `lhs`. Usable in functions returning Status or StatusOr.
+#define WSD_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto WSD_CONCAT_(_wsd_sor_, __LINE__) = (rexpr);  \
+  if (!WSD_CONCAT_(_wsd_sor_, __LINE__).ok())       \
+    return WSD_CONCAT_(_wsd_sor_, __LINE__).status(); \
+  lhs = std::move(WSD_CONCAT_(_wsd_sor_, __LINE__)).value()
+
+#define WSD_CONCAT_IMPL_(a, b) a##b
+#define WSD_CONCAT_(a, b) WSD_CONCAT_IMPL_(a, b)
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_STATUSOR_H_

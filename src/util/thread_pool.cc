@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace wsd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  ParallelForShards(pool, begin, end,
+                    [&body](size_t /*shard*/, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) body(i);
+                    });
+}
+
+void ParallelForShards(
+    ThreadPool& pool, size_t begin, size_t end,
+    const std::function<void(size_t shard, size_t lo, size_t hi)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  // Over-decompose 4x relative to the thread count so uneven shards (e.g.,
+  // head sites with far more pages) still balance.
+  const size_t num_shards =
+      std::min(n, std::max<size_t>(1, pool.num_threads() * 4));
+  const size_t chunk = (n + num_shards - 1) / num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t lo = begin + s * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.Submit([&body, s, lo, hi] { body(s, lo, hi); });
+  }
+  pool.Wait();
+}
+
+}  // namespace wsd

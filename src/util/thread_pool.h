@@ -1,0 +1,65 @@
+#ifndef WSD_UTIL_THREAD_POOL_H_
+#define WSD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsd {
+
+/// A fixed-size worker pool with a blocking FIFO queue. Used by the scan
+/// pipeline and the diameter computation. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 selects std::thread::hardware_concurrency() (at
+  /// least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): all tasks done
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [begin, end) across `pool`, splitting the range
+/// into contiguous shards (one per thread, large enough to amortize
+/// dispatch). Blocks until all iterations complete. `body` must be safe to
+/// invoke concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+/// Shard-wise variant: body(shard_index, begin, end) once per shard.
+/// Lets callers keep per-shard state (e.g., an Rng fork) without
+/// per-iteration overhead.
+void ParallelForShards(
+    ThreadPool& pool, size_t begin, size_t end,
+    const std::function<void(size_t shard, size_t lo, size_t hi)>& body);
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,28 @@
+#ifndef WSD_UTIL_TIMER_H_
+#define WSD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace wsd {
+
+/// Monotonic wall-clock stopwatch for bench harness reporting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_TIMER_H_

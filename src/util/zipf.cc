@@ -1,0 +1,145 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wsd {
+
+namespace {
+
+// log1p(x)/x with a series fallback near zero.
+double Helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+// expm1(x)/x with a series fallback near zero.
+double Helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + 0.5 * x * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  WSD_CHECK(n >= 1) << "ZipfSampler requires n >= 1";
+  WSD_CHECK(s >= 0.0) << "ZipfSampler requires s >= 0";
+  if (s_ == 0.0) {
+    h_integral_x1_ = h_integral_n_ = threshold_ = 0.0;
+    return;
+  }
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::H(double x) const {
+  return std::exp(-s_ * std::log(x));
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // numerical guard near the domain edge
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (s_ == 0.0) return rng.Uniform(n_);
+  // Hörmann-Derflinger rejection-inversion: expected < 2 iterations for
+  // any (n, s).
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    double kd = x + 0.5;
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n_)) kd = static_cast<double>(n_);
+    const uint64_t k = static_cast<uint64_t>(kd);
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= HIntegral(static_cast<double>(k) + 0.5) -
+                 H(static_cast<double>(k))) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+std::vector<double> ZipfWeights(uint64_t n, double s) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -s);
+    total += w[i];
+  }
+  for (auto& x : w) x /= total;
+  return w;
+}
+
+double GeneralizedHarmonic(uint64_t n, double s) {
+  double total = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -s);
+  }
+  return total;
+}
+
+namespace {
+
+// Mean of a continuous Pareto(xmin, alpha) truncated to [xmin, max].
+double TruncatedParetoMean(double xmin, double alpha, double max) {
+  if (max <= xmin) return xmin;
+  const double p_le_max = 1.0 - std::pow(xmin / max, alpha);
+  if (p_le_max <= 0.0) return xmin;
+  double integral;
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    integral = xmin * std::log(max / xmin);
+  } else {
+    integral = alpha * std::pow(xmin, alpha) *
+               (std::pow(max, 1.0 - alpha) - std::pow(xmin, 1.0 - alpha)) /
+               (1.0 - alpha);
+  }
+  return integral / p_le_max;
+}
+
+}  // namespace
+
+DegreeSampler::DegreeSampler(double mean, double alpha, uint64_t max_value)
+    : mean_(mean), alpha_(alpha), max_value_(max_value) {
+  WSD_CHECK(mean >= 1.0) << "DegreeSampler mean must be >= 1";
+  WSD_CHECK(alpha > 0.0) << "DegreeSampler alpha must be > 0";
+  WSD_CHECK(static_cast<double>(max_value) >= mean)
+      << "DegreeSampler max_value must be >= mean";
+  // Truncated mean is monotone increasing in xmin, so bisect.
+  const double max_d = static_cast<double>(max_value);
+  double lo = 1e-9, hi = mean;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (TruncatedParetoMean(mid, alpha, max_d) < mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  xmin_ = 0.5 * (lo + hi);
+}
+
+uint64_t DegreeSampler::Sample(Rng& rng) const {
+  // Inverse-CDF sample of the truncated Pareto, then round to an integer
+  // in [1, max_value].
+  const double max_d = static_cast<double>(max_value_);
+  const double p_le_max = 1.0 - std::pow(xmin_ / max_d, alpha_);
+  double u = rng.NextDouble() * p_le_max;
+  if (u > 1.0 - 1e-15) u = 1.0 - 1e-15;
+  const double x = xmin_ * std::pow(1.0 - u, -1.0 / alpha_);
+  double k = std::floor(x + 0.5);
+  if (k < 1.0) k = 1.0;
+  if (k > max_d) k = max_d;
+  return static_cast<uint64_t>(k);
+}
+
+}  // namespace wsd

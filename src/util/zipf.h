@@ -1,0 +1,72 @@
+#ifndef WSD_UTIL_ZIPF_H_
+#define WSD_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wsd {
+
+/// Zipf(s, N) sampler over ranks {0, ..., n-1}: P(rank = r) proportional to
+/// (r+1)^-s. Implemented with the rejection-inversion method of Hörmann
+/// and Derflinger, which is O(1) per sample for any exponent s > 0 and
+/// needs no O(N) table. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1, `s` >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double H(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double threshold_;
+};
+
+/// Normalized Zipf probability masses for ranks 0..n-1 with exponent s.
+/// O(n); used for constructing explicit weight vectors.
+std::vector<double> ZipfWeights(uint64_t n, double s);
+
+/// The generalized harmonic number H_{n,s} = sum_{i=1..n} i^-s.
+double GeneralizedHarmonic(uint64_t n, double s);
+
+/// Draws heavy-tailed positive integers with a target mean: a discretized
+/// Pareto with tail exponent `alpha`, truncated at `max_value`, with xmin
+/// solved (by bisection at construction) so the truncated continuous mean
+/// equals `mean`. Used for per-entity site-degree distributions, where
+/// Table 2 of the paper pins the mean and the tail drives the k-coverage
+/// spread.
+class DegreeSampler {
+ public:
+  /// Requires mean >= 1, alpha > 0, max_value >= mean.
+  DegreeSampler(double mean, double alpha, uint64_t max_value);
+
+  /// Draws an integer in [1, max_value].
+  uint64_t Sample(Rng& rng) const;
+
+  double xmin() const { return xmin_; }
+  double mean() const { return mean_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double mean_;
+  double alpha_;
+  uint64_t max_value_;
+  double xmin_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_ZIPF_H_

@@ -1,0 +1,126 @@
+#include "entity/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "entity/isbn.h"
+#include "entity/phone.h"
+
+namespace wsd {
+namespace {
+
+TEST(CatalogTest, RejectsEmpty) {
+  auto catalog = DomainCatalog::Build(Domain::kBanks, 0, 1);
+  EXPECT_FALSE(catalog.ok());
+  EXPECT_TRUE(catalog.status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, BusinessCatalogHasUniqueValidIdentifiers) {
+  auto catalog = DomainCatalog::Build(Domain::kRestaurants, 5000, 42);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->size(), 5000u);
+  std::set<std::string> phones, homepages;
+  for (const Entity& e : catalog->entities()) {
+    EXPECT_TRUE(IsValidNanp(e.phone.digits())) << e.phone.digits();
+    EXPECT_TRUE(phones.insert(e.phone.digits()).second)
+        << "duplicate phone " << e.phone.digits();
+    EXPECT_FALSE(e.homepage_host.empty());
+    EXPECT_TRUE(homepages.insert(e.homepage_host).second)
+        << "duplicate homepage " << e.homepage_host;
+    EXPECT_TRUE(e.isbn13.empty());
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.city.empty());
+  }
+}
+
+TEST(CatalogTest, BooksCatalogHasUniqueValidIsbns) {
+  auto catalog = DomainCatalog::Build(Domain::kBooks, 3000, 7);
+  ASSERT_TRUE(catalog.ok());
+  std::set<std::string> isbns;
+  for (const Entity& e : catalog->entities()) {
+    EXPECT_TRUE(IsValidIsbn13(e.isbn13)) << e.isbn13;
+    EXPECT_TRUE(isbns.insert(e.isbn13).second);
+    EXPECT_TRUE(e.phone.empty());
+    EXPECT_TRUE(e.homepage_host.empty());
+  }
+}
+
+TEST(CatalogTest, LookupsFindEveryEntity) {
+  auto catalog = DomainCatalog::Build(Domain::kHotels, 2000, 9);
+  ASSERT_TRUE(catalog.ok());
+  for (const Entity& e : catalog->entities()) {
+    EXPECT_EQ(catalog->FindByPhone(e.phone.digits()), e.id);
+    EXPECT_EQ(catalog->FindByHomepage(e.homepage_host), e.id);
+  }
+  EXPECT_EQ(catalog->FindByPhone("2015550000"), kInvalidEntityId);
+  EXPECT_EQ(catalog->FindByHomepage("unknown.com"), kInvalidEntityId);
+}
+
+TEST(CatalogTest, IsbnLookup) {
+  auto catalog = DomainCatalog::Build(Domain::kBooks, 500, 3);
+  ASSERT_TRUE(catalog.ok());
+  for (const Entity& e : catalog->entities()) {
+    EXPECT_EQ(catalog->FindByIsbn13(e.isbn13), e.id);
+  }
+  EXPECT_EQ(catalog->FindByIsbn13("9780306406157"), kInvalidEntityId);
+}
+
+TEST(CatalogTest, DeterministicInSeed) {
+  auto a = DomainCatalog::Build(Domain::kSchools, 1000, 123);
+  auto b = DomainCatalog::Build(Domain::kSchools, 1000, 123);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a->entity(i).name, b->entity(i).name);
+    EXPECT_EQ(a->entity(i).phone.digits(), b->entity(i).phone.digits());
+    EXPECT_EQ(a->entity(i).homepage_host, b->entity(i).homepage_host);
+  }
+}
+
+TEST(CatalogTest, DifferentSeedsDiffer) {
+  auto a = DomainCatalog::Build(Domain::kSchools, 100, 1);
+  auto b = DomainCatalog::Build(Domain::kSchools, 100, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int same = 0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    if (a->entity(i).phone.digits() == b->entity(i).phone.digits()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(CatalogTest, LookupsSurviveMove) {
+  // The indexes hold string_views into entity storage; moving the catalog
+  // must not invalidate them.
+  auto built = DomainCatalog::Build(Domain::kBanks, 800, 21);
+  ASSERT_TRUE(built.ok());
+  DomainCatalog catalog = std::move(built).value();
+  for (const Entity& e : catalog.entities()) {
+    ASSERT_EQ(catalog.FindByPhone(e.phone.digits()), e.id);
+  }
+}
+
+TEST(DomainsTest, Table1Attributes) {
+  EXPECT_EQ(StudiedAttributes(Domain::kBooks),
+            std::vector<Attribute>{Attribute::kIsbn});
+  const auto restaurant_attrs = StudiedAttributes(Domain::kRestaurants);
+  ASSERT_EQ(restaurant_attrs.size(), 3u);
+  EXPECT_EQ(restaurant_attrs[2], Attribute::kReviews);
+  for (Domain d : LocalBusinessDomains()) {
+    if (d == Domain::kRestaurants) continue;
+    const auto attrs = StudiedAttributes(d);
+    ASSERT_EQ(attrs.size(), 2u);
+    EXPECT_EQ(attrs[0], Attribute::kPhone);
+    EXPECT_EQ(attrs[1], Attribute::kHomepage);
+  }
+}
+
+TEST(DomainsTest, NineDomainsEightLocal) {
+  EXPECT_EQ(AllDomains().size(), 9u);
+  EXPECT_EQ(LocalBusinessDomains().size(), 8u);
+  for (Domain d : AllDomains()) {
+    EXPECT_NE(DomainName(d), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace wsd

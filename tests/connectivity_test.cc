@@ -1,0 +1,68 @@
+#include "core/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace wsd {
+namespace {
+
+HostEntityTable MakeTable(
+    const std::vector<std::vector<EntityId>>& site_entities) {
+  std::vector<HostRecord> hosts;
+  for (size_t s = 0; s < site_entities.size(); ++s) {
+    HostRecord rec;
+    rec.host = "site" + std::to_string(s) + ".com";
+    for (EntityId e : site_entities[s]) rec.entities.push_back({e, 1});
+    std::sort(rec.entities.begin(), rec.entities.end(),
+              [](const EntityPages& a, const EntityPages& b) {
+                return a.entity < b.entity;
+              });
+    hosts.push_back(std::move(rec));
+  }
+  return HostEntityTable(std::move(hosts));
+}
+
+TEST(ConnectivityTest, ValidatesInput) {
+  const auto table = MakeTable({{0}});
+  EXPECT_TRUE(ComputeGraphMetrics(Domain::kBooks, Attribute::kIsbn, table,
+                                  0)
+                  .status()
+                  .IsInvalidArgument());
+  const auto empty = MakeTable({});
+  EXPECT_EQ(ComputeGraphMetrics(Domain::kBooks, Attribute::kIsbn, empty, 5)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConnectivityTest, HandComputedRow) {
+  // Two components: {s0,s1; e0,e1,e2} and {s2; e3,e4}.
+  const auto table = MakeTable({{0, 1}, {1, 2}, {3, 4}});
+  auto row =
+      ComputeGraphMetrics(Domain::kRestaurants, Attribute::kPhone, table, 6);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->num_covered_entities, 5u);
+  EXPECT_EQ(row->num_edges, 6u);
+  EXPECT_DOUBLE_EQ(row->avg_sites_per_entity, 6.0 / 5.0);
+  EXPECT_EQ(row->num_components, 2u);
+  EXPECT_DOUBLE_EQ(row->largest_component_entity_pct, 60.0);
+  // Giant component is the e0-s0-e1-s1-e2 path: diameter 4.
+  EXPECT_EQ(row->diameter, 4u);
+  EXPECT_EQ(row->domain, Domain::kRestaurants);
+  EXPECT_EQ(row->attr, Attribute::kPhone);
+}
+
+TEST(ConnectivityTest, RobustnessHelperMatchesDirectSweep) {
+  const auto table = MakeTable({{0, 1, 2}, {2, 3}, {0}});
+  const auto via_helper = ComputeRobustness(table, 5, 2);
+  const auto graph = BipartiteGraph::FromHostTable(table, 5);
+  const auto direct = RobustnessSweep(graph, 2);
+  ASSERT_EQ(via_helper.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_helper[i].largest_component_entity_fraction,
+                     direct[i].largest_component_entity_fraction);
+    EXPECT_EQ(via_helper[i].num_components, direct[i].num_components);
+  }
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,166 @@
+#include "core/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/review_coverage.h"
+#include "core/set_cover.h"
+
+namespace wsd {
+namespace {
+
+HostEntityTable MakeTable(
+    const std::vector<std::pair<std::vector<EntityId>, uint32_t>>& sites) {
+  std::vector<HostRecord> hosts;
+  for (size_t s = 0; s < sites.size(); ++s) {
+    HostRecord rec;
+    rec.host = "site" + std::to_string(s) + ".com";
+    for (EntityId e : sites[s].first) {
+      rec.entities.push_back({e, sites[s].second});
+    }
+    std::sort(rec.entities.begin(), rec.entities.end(),
+              [](const EntityPages& a, const EntityPages& b) {
+                return a.entity < b.entity;
+              });
+    hosts.push_back(std::move(rec));
+  }
+  return HostEntityTable(std::move(hosts));
+}
+
+TEST(CoverageTest, HandComputedExample) {
+  // Sites (ordered by size after sorting): A={0,1,2}, B={0,1}, C={0}.
+  const auto table = MakeTable({{{0}, 1}, {{0, 1, 2}, 1}, {{0, 1}, 1}});
+  auto curve = ComputeKCoverage(table, 4, 3, {1, 2, 3});
+  ASSERT_TRUE(curve.ok());
+  // t=1 (site A): 1-cov 3/4, 2-cov 0.
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][0], 0.75);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[1][0], 0.0);
+  // t=2 (A,B): 1-cov 3/4, 2-cov 2/4, 3-cov 0.
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][1], 0.75);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[2][1], 0.0);
+  // t=3: 1-cov 3/4, 2-cov 2/4, 3-cov 1/4.
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][2], 0.75);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[1][2], 0.5);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[2][2], 0.25);
+}
+
+TEST(CoverageTest, TBeyondSitesSaturates) {
+  const auto table = MakeTable({{{0, 1}, 1}});
+  auto curve = ComputeKCoverage(table, 2, 1, {1, 10, 100});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(curve->k_coverage[0][2], 1.0);
+}
+
+TEST(CoverageTest, ValidatesArguments) {
+  const auto table = MakeTable({{{0}, 1}});
+  EXPECT_FALSE(ComputeKCoverage(table, 0, 1, {1}).ok());
+  EXPECT_FALSE(ComputeKCoverage(table, 1, 0, {1}).ok());
+  EXPECT_FALSE(ComputeKCoverage(table, 1, 65, {1}).ok());
+  EXPECT_FALSE(ComputeKCoverage(table, 1, 1, {0}).ok());
+  EXPECT_FALSE(ComputeKCoverage(table, 1, 1, {2, 2}).ok());
+  EXPECT_FALSE(ComputeKCoverage(table, 1, 1, {3, 2}).ok());
+}
+
+TEST(CoverageTest, MonotoneInTAndAntitoneInK) {
+  // Random-ish fixed table.
+  const auto table = MakeTable({{{0, 1, 2, 3, 4}, 1},
+                                {{0, 1, 2}, 1},
+                                {{2, 3}, 1},
+                                {{4, 5}, 1},
+                                {{5}, 1}});
+  auto curve = ComputeKCoverage(table, 7, 4, {1, 2, 3, 4, 5});
+  ASSERT_TRUE(curve.ok());
+  for (uint32_t k = 0; k < 4; ++k) {
+    for (size_t i = 1; i < curve->t_values.size(); ++i) {
+      EXPECT_GE(curve->k_coverage[k][i], curve->k_coverage[k][i - 1])
+          << "k=" << k + 1 << " i=" << i;
+    }
+  }
+  for (uint32_t k = 1; k < 4; ++k) {
+    for (size_t i = 0; i < curve->t_values.size(); ++i) {
+      EXPECT_LE(curve->k_coverage[k][i], curve->k_coverage[k - 1][i]);
+    }
+  }
+}
+
+TEST(CoverageTest, DefaultTValuesAreStrictlyIncreasing) {
+  for (uint32_t max_sites : {1u, 9u, 50u, 12000u, 20052u}) {
+    const auto values = DefaultCoverageTValues(max_sites);
+    ASSERT_FALSE(values.empty());
+    for (size_t i = 1; i < values.size(); ++i) {
+      EXPECT_GT(values[i], values[i - 1]) << "max_sites " << max_sites;
+    }
+    EXPECT_LE(values.back(), std::max(max_sites, 1u));
+  }
+}
+
+// ---------- set cover ----------
+
+TEST(SetCoverTest, GreedyPicksTheObviousCover) {
+  // Site 0 is big but redundant with 1+2; greedy should reach full
+  // coverage with 2 sites where size-order needs 3.
+  const auto table = MakeTable({{{0, 1, 2, 3}, 1},
+                                {{0, 1, 4, 5}, 1},
+                                {{2, 3, 6, 7}, 1}});
+  auto curve = GreedySetCover(table, 8, {1, 2, 3});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->greedy_coverage[1], 1.0);  // 2 sites suffice
+  EXPECT_LT(curve->size_coverage[1], 1.0);
+  EXPECT_DOUBLE_EQ(curve->size_coverage[2], 1.0);
+}
+
+TEST(SetCoverTest, GreedyNeverWorseThanSizeOrdering) {
+  // Property check on a pseudo-random table.
+  std::vector<std::pair<std::vector<EntityId>, uint32_t>> sites;
+  uint64_t state = 12345;
+  for (int s = 0; s < 40; ++s) {
+    std::vector<EntityId> entities;
+    for (int e = 0; e < 100; ++e) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((state >> 33) % 7 == 0) entities.push_back(e);
+    }
+    sites.push_back({entities, 1});
+  }
+  const auto table = MakeTable(sites);
+  auto curve = GreedySetCover(table, 100, {1, 2, 5, 10, 20, 40});
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 0; i < curve->t_values.size(); ++i) {
+    EXPECT_GE(curve->greedy_coverage[i], curve->size_coverage[i] - 1e-12);
+  }
+  // Greedy coverage is monotone in t.
+  for (size_t i = 1; i < curve->t_values.size(); ++i) {
+    EXPECT_GE(curve->greedy_coverage[i], curve->greedy_coverage[i - 1]);
+  }
+}
+
+TEST(SetCoverTest, GreedyOrderHasNoDuplicates) {
+  const auto table = MakeTable({{{0, 1}, 1}, {{1, 2}, 1}, {{2, 3}, 1}});
+  auto curve = GreedySetCover(table, 4, {1, 2, 3});
+  ASSERT_TRUE(curve.ok());
+  std::set<uint32_t> unique(curve->greedy_order.begin(),
+                            curve->greedy_order.end());
+  EXPECT_EQ(unique.size(), curve->greedy_order.size());
+}
+
+// ---------- review page coverage ----------
+
+TEST(PageCoverageTest, HandComputed) {
+  // Pages: site0 = 2 entities x 3 pages = 6; site1 = 1 entity x 4 pages.
+  const auto table = MakeTable({{{0, 1}, 3}, {{2}, 4}});
+  auto curve = ComputePageCoverage(table, {1, 2});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->total_pages, 10u);
+  // Size order: site0 first (2 entities).
+  EXPECT_DOUBLE_EQ(curve->page_fraction[0], 0.6);
+  EXPECT_DOUBLE_EQ(curve->page_fraction[1], 1.0);
+}
+
+TEST(PageCoverageTest, FailsOnZeroPages) {
+  const auto table = MakeTable({{{}, 0}});
+  EXPECT_FALSE(ComputePageCoverage(table, {1}).ok());
+}
+
+}  // namespace
+}  // namespace wsd

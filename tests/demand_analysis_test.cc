@@ -1,0 +1,183 @@
+#include "core/demand_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace wsd {
+namespace {
+
+TEST(CumulativeDemandTest, UniformDemandIsDiagonal) {
+  const std::vector<double> demand(100, 1.0);
+  const auto curve = CumulativeDemandCurve(demand, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.demand_fraction, point.inventory_fraction, 1e-9);
+  }
+}
+
+TEST(CumulativeDemandTest, ConcentratedDemand) {
+  std::vector<double> demand(100, 0.0);
+  demand[42] = 10.0;  // one entity holds everything
+  const auto curve = CumulativeDemandCurve(demand, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  EXPECT_DOUBLE_EQ(curve[0].demand_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().demand_fraction, 1.0);
+}
+
+TEST(CumulativeDemandTest, EmptyOrZeroDemand) {
+  EXPECT_TRUE(CumulativeDemandCurve({}, 10).empty());
+  EXPECT_TRUE(CumulativeDemandCurve({0.0, 0.0}, 10).empty());
+}
+
+TEST(HeadDemandShareTest, HandComputed) {
+  // Sorted desc: 40, 30, 20, 10 -> top 25% holds 40%.
+  const std::vector<double> demand = {10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(HeadDemandShare(demand, 0.25), 0.4);
+  EXPECT_DOUBLE_EQ(HeadDemandShare(demand, 0.5), 0.7);
+  EXPECT_DOUBLE_EQ(HeadDemandShare(demand, 1.0), 1.0);
+}
+
+DemandTable MakeDemand(std::vector<double> search,
+                       std::vector<double> browse) {
+  DemandTable table;
+  table.site = TrafficSite::kYelp;
+  table.search_demand = std::move(search);
+  table.browse_demand = std::move(browse);
+  return table;
+}
+
+TEST(ValueAddTest, ValidatesSizes) {
+  const auto table = MakeDemand({1, 2}, {1, 2});
+  EXPECT_FALSE(AnalyzeValueAdd(table, {1}).ok());
+  EXPECT_FALSE(AnalyzeValueAdd(MakeDemand({}, {}), {}).ok());
+}
+
+TEST(ValueAddTest, FailsWithoutZeroReviewBin) {
+  const auto table = MakeDemand({1, 2}, {1, 2});
+  EXPECT_FALSE(AnalyzeValueAdd(table, {5, 6}).ok());
+}
+
+TEST(ValueAddTest, HandComputedBins) {
+  // Entities: two with 0 reviews (demand 2, 4), two with 1 review
+  // (demand 6, 10), one with 3 reviews (demand 8).
+  const auto table =
+      MakeDemand({2, 4, 6, 10, 8}, {2, 4, 6, 10, 8});
+  const std::vector<uint32_t> reviews = {0, 0, 1, 1, 3};
+  auto bins = AnalyzeValueAdd(table, reviews, /*max_bucket=*/4);
+  ASSERT_TRUE(bins.ok());
+  ASSERT_EQ(bins->size(), 5u);
+
+  // Bin 0: VA(0) = mean(2,4)/1 = 3.
+  EXPECT_EQ((*bins)[0].num_entities, 2u);
+  EXPECT_DOUBLE_EQ((*bins)[0].rel_va_search, 1.0);
+  // Bin 1 (n in 1-2): VA = mean(6/2, 10/2) = 4 -> relative 4/3.
+  EXPECT_EQ((*bins)[1].num_entities, 2u);
+  EXPECT_NEAR((*bins)[1].rel_va_search, 4.0 / 3.0, 1e-12);
+  // Bin 2 (n in 3-6): VA = 8/4 = 2 -> relative 2/3.
+  EXPECT_EQ((*bins)[2].num_entities, 1u);
+  EXPECT_NEAR((*bins)[2].rel_va_search, 2.0 / 3.0, 1e-12);
+  // Empty bin.
+  EXPECT_EQ((*bins)[3].num_entities, 0u);
+  EXPECT_DOUBLE_EQ((*bins)[3].rel_va_search, 0.0);
+}
+
+TEST(ValueAddTest, ZScoresAreNormalizedWithinDataset) {
+  const auto table = MakeDemand({1, 2, 3, 4, 10}, {5, 5, 5, 5, 5});
+  const std::vector<uint32_t> reviews = {0, 0, 1, 1, 3};
+  auto bins = AnalyzeValueAdd(table, reviews, 4);
+  ASSERT_TRUE(bins.ok());
+  // Weighted mean of bin z-scores over entities must be ~0.
+  double weighted = 0.0;
+  uint64_t total = 0;
+  for (const auto& bin : *bins) {
+    weighted += bin.mean_search_z * static_cast<double>(bin.num_entities);
+    total += bin.num_entities;
+  }
+  EXPECT_NEAR(weighted / static_cast<double>(total), 0.0, 1e-9);
+  // Constant browse demand: all z-scores are 0.
+  for (const auto& bin : *bins) {
+    EXPECT_DOUBLE_EQ(bin.mean_browse_z, 0.0);
+  }
+}
+
+TEST(ValueAddTest, LabelsFollowPaperBinning) {
+  const auto table = MakeDemand({1, 1}, {1, 1});
+  auto bins = AnalyzeValueAdd(table, {0, 1}, 10);
+  ASSERT_TRUE(bins.ok());
+  ASSERT_EQ(bins->size(), 11u);
+  EXPECT_EQ((*bins)[0].label, "0");
+  EXPECT_EQ((*bins)[1].label, "1-2");
+  EXPECT_EQ((*bins)[10].label, "1023+");
+}
+
+
+TEST(ValueAddTest, StepDecayZeroesHeadValue) {
+  // Entities with >= cutoff reviews carry zero marginal information under
+  // the step model (§4.3.1's alternative).
+  const auto table = MakeDemand({2, 4, 50, 100}, {2, 4, 50, 100});
+  const std::vector<uint32_t> reviews = {0, 0, 20, 40};
+  ValueAddOptions options;
+  options.decay = ValueAddOptions::InfoDecay::kStepAtCutoff;
+  options.step_cutoff = 10;
+  options.max_bucket = 8;
+  auto step = AnalyzeValueAddWithOptions(table, reviews, options);
+  ASSERT_TRUE(step.ok());
+  for (const auto& bin : *step) {
+    if (bin.review_lo >= 10 && bin.num_entities > 0) {
+      EXPECT_DOUBLE_EQ(bin.rel_va_search, 0.0) << bin.label;
+    }
+  }
+  // Under the default inverse-linear model the same head bins are > 0.
+  auto linear = AnalyzeValueAdd(table, reviews, 8);
+  ASSERT_TRUE(linear.ok());
+  bool head_nonzero = false;
+  for (const auto& bin : *linear) {
+    if (bin.review_lo >= 10 && bin.num_entities > 0 &&
+        bin.rel_va_search > 0.0) {
+      head_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(head_nonzero);
+}
+
+TEST(ValueAddTest, StepDecayBelowCutoffMatchesInverseLinear) {
+  const auto table = MakeDemand({2, 4, 6, 10}, {2, 4, 6, 10});
+  const std::vector<uint32_t> reviews = {0, 0, 1, 3};
+  ValueAddOptions options;
+  options.decay = ValueAddOptions::InfoDecay::kStepAtCutoff;
+  options.step_cutoff = 10;
+  options.max_bucket = 4;
+  auto step = AnalyzeValueAddWithOptions(table, reviews, options);
+  auto linear = AnalyzeValueAdd(table, reviews, 4);
+  ASSERT_TRUE(step.ok() && linear.ok());
+  for (size_t i = 0; i < step->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*step)[i].rel_va_search,
+                     (*linear)[i].rel_va_search);
+  }
+}
+
+TEST(RankDemandCurveTest, NormalizedAndDecreasing) {
+  std::vector<double> demand(1000);
+  for (size_t i = 0; i < demand.size(); ++i) {
+    demand[i] = 1000.0 / static_cast<double>(i + 1);  // Zipf-1
+  }
+  const auto curve = RankDemandCurve(demand, 15);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.front().relative_demand, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].relative_demand,
+              curve[i - 1].relative_demand + 1e-12);
+    EXPECT_GE(curve[i].rank_fraction, curve[i - 1].rank_fraction);
+  }
+  // Last sampled rank reaches the tail of the inventory.
+  EXPECT_NEAR(curve.back().rank_fraction, 1.0, 0.01);
+  // Zipf-1: demand at the last rank is max/n.
+  EXPECT_NEAR(curve.back().relative_demand, 1.0 / 1000.0, 1e-6);
+}
+
+TEST(RankDemandCurveTest, EmptyOnZeroDemand) {
+  EXPECT_TRUE(RankDemandCurve({}, 10).empty());
+  EXPECT_TRUE(RankDemandCurve({0.0, 0.0}, 10).empty());
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "entity/catalog.h"
+#include "extract/href_extractor.h"
+#include "extract/matcher.h"
+#include "extract/phone_extractor.h"
+#include "extract/review_detector.h"
+
+namespace wsd {
+namespace {
+
+// ---------- phone extractor edge cases ----------
+
+TEST(PhoneExtractorTest, FindsMultipleInOneText) {
+  const auto matches = ExtractPhones(
+      "Main: (415) 555-0134, fax 415-555-0199, cell +1-628-555-0000.");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].digits, "4155550134");
+  EXPECT_EQ(matches[1].digits, "4155550199");
+  EXPECT_EQ(matches[2].digits, "6285550000");
+}
+
+TEST(PhoneExtractorTest, RejectsLongerDigitRuns) {
+  // 11 and 12 digit runs are not phones.
+  EXPECT_TRUE(ExtractPhones("id 41555501345").empty());
+  EXPECT_TRUE(ExtractPhones("x415555013456x").empty());
+  // A 10-digit run inside a longer run must not match either side.
+  EXPECT_TRUE(ExtractPhones("24155550134").empty());
+}
+
+TEST(PhoneExtractorTest, RejectsInvalidNanp) {
+  EXPECT_TRUE(ExtractPhones("call 115-555-0134").empty());  // area code 1xx
+  EXPECT_TRUE(ExtractPhones("call 911-555-0134").empty());  // N11 area
+  EXPECT_TRUE(ExtractPhones("call 415-911-0134").empty());  // N11 exchange
+  EXPECT_TRUE(ExtractPhones("call 415-155-0134").empty());  // exchange 1xx
+}
+
+TEST(PhoneExtractorTest, RejectsMixedSeparatorsMidNumber) {
+  // "415-555 0134" (dash then space) is accepted by the paper-style regex
+  // class [-. ]; both separators are in the class, so it matches.
+  const auto mixed = ExtractPhones("415-555 0134");
+  ASSERT_EQ(mixed.size(), 1u);
+  // But a separator in the wrong position does not.
+  EXPECT_TRUE(ExtractPhones("4155-55-0134").empty());
+}
+
+TEST(PhoneExtractorTest, CountryCodeVariants) {
+  EXPECT_EQ(ExtractPhones("+1 415 555 0134")[0].digits, "4155550134");
+  EXPECT_EQ(ExtractPhones("1-415-555-0134")[0].digits, "4155550134");
+  // "+2" is not a NANP country code, but the trailing ten digits still
+  // form a well-shaped US number — exactly what a regex extractor would
+  // report.
+  const auto non_nanp_prefix = ExtractPhones("+2-415-555-0134");
+  ASSERT_EQ(non_nanp_prefix.size(), 1u);
+  EXPECT_EQ(non_nanp_prefix[0].digits, "4155550134");
+}
+
+TEST(PhoneExtractorTest, OffsetsPointAtMatchStart) {
+  const std::string text = "xx (415) 555-0134";
+  const auto matches = ExtractPhones(text);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].offset, 3u);
+}
+
+TEST(PhoneExtractorTest, ParenthesizedWithAndWithoutSpace) {
+  EXPECT_EQ(ExtractPhones("(415) 555-0134")[0].digits, "4155550134");
+  EXPECT_EQ(ExtractPhones("(415)555-0134")[0].digits, "4155550134");
+}
+
+TEST(PhoneExtractorTest, EmptyAndNoDigits) {
+  EXPECT_TRUE(ExtractPhones("").empty());
+  EXPECT_TRUE(ExtractPhones("no numbers here").empty());
+}
+
+// ---------- href extractor ----------
+
+TEST(HrefExtractorTest, CanonicalizesAbsoluteLinks) {
+  const auto hrefs = ExtractHrefs(
+      "<a href=\"http://WWW.Example.com/\">x</a>"
+      "<a href=\"/relative\">y</a>"
+      "<a href=\"https://other.com/page/\">z</a>");
+  ASSERT_EQ(hrefs.size(), 2u);
+  EXPECT_EQ(hrefs[0].canonical, "example.com");
+  EXPECT_EQ(hrefs[1].canonical, "other.com/page");
+}
+
+// ---------- matcher ----------
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto catalog = DomainCatalog::Build(Domain::kRestaurants, 100, 42);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::make_unique<DomainCatalog>(std::move(catalog).value());
+  }
+  std::unique_ptr<DomainCatalog> catalog_;
+};
+
+TEST_F(MatcherTest, MatchesOnlyCatalogPhones) {
+  const Entity& e = catalog_->entity(7);
+  EntityMatcher matcher(*catalog_, Attribute::kPhone);
+  const std::string text = "Call " + e.phone.Format(PhoneFormat::kDashed) +
+                           " or 212-555-9999 today";
+  // 212-555-9999 is a valid NANP number but (w.h.p.) not in a 100-entity
+  // catalog.
+  auto ids = matcher.MatchPage(text);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], e.id);
+}
+
+TEST_F(MatcherTest, DeduplicatesWithinPage) {
+  const Entity& e = catalog_->entity(3);
+  EntityMatcher matcher(*catalog_, Attribute::kPhone);
+  const std::string text = e.phone.Format(PhoneFormat::kDashed) + " and " +
+                           e.phone.Format(PhoneFormat::kBare);
+  EXPECT_EQ(matcher.MatchPage(text).size(), 1u);
+}
+
+TEST_F(MatcherTest, MatchesHomepagesFromHtml) {
+  const Entity& e = catalog_->entity(11);
+  EntityMatcher matcher(*catalog_, Attribute::kHomepage);
+  const std::string html = "<a href=\"http://www." + e.homepage_host +
+                           "/\">site</a>"
+                           "<a href=\"http://unrelated.example/\">x</a>";
+  auto ids = matcher.MatchPage(html);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], e.id);
+}
+
+TEST_F(MatcherTest, ResultsAreSorted) {
+  EntityMatcher matcher(*catalog_, Attribute::kPhone);
+  std::string text;
+  for (EntityId id : {50u, 3u, 20u}) {
+    text += catalog_->entity(id).phone.Format(PhoneFormat::kDashed) + " ";
+  }
+  auto ids = matcher.MatchPage(text);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+// ---------- review detector ----------
+
+TEST(ReviewDetectorTest, ClassifiesObviousCases) {
+  auto detector = ReviewDetector::CreateDefault(7);
+  ASSERT_TRUE(detector.ok());
+  EXPECT_TRUE(detector->IsReview(
+      "I visited last week and the food was absolutely amazing. Would "
+      "definitely recommend this place, 5 stars from me."));
+  EXPECT_FALSE(detector->IsReview(
+      "Find hours, directions and contact information. Browse nearby "
+      "restaurants, get a map, or claim this listing."));
+}
+
+TEST(ReviewDetectorTest, ScoreSignMatchesDecision) {
+  auto detector = ReviewDetector::CreateDefault(7);
+  ASSERT_TRUE(detector.ok());
+  const std::string text = "the service was superb and delightful";
+  EXPECT_EQ(detector->IsReview(text), detector->Score(text) > 0.0);
+}
+
+}  // namespace
+}  // namespace wsd

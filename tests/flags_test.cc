@@ -1,0 +1,59 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace wsd {
+namespace {
+
+FlagParser Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return FlagParser(static_cast<int>(argv.size()),
+                    const_cast<char* const*>(argv.data()));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  const auto args = Parse({"--name=value", "--n=3"});
+  EXPECT_EQ(args.GetOr("name", ""), "value");
+  EXPECT_EQ(args.GetUint("n"), 3u);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  const auto args = Parse({"--out", "file.tsv", "--scale", "0.5"});
+  EXPECT_EQ(args.GetOr("out", ""), "file.tsv");
+  EXPECT_DOUBLE_EQ(*args.GetDouble("scale"), 0.5);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  const auto args = Parse({"--all"});
+  EXPECT_TRUE(args.Has("all"));
+  EXPECT_EQ(args.GetOr("all", ""), "true");
+}
+
+TEST(FlagParserTest, PositionalsCollected) {
+  const auto args = Parse({"spread", "--domain=banks", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "spread");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, MissingAndUnparseable) {
+  const auto args = Parse({"--n=abc"});
+  EXPECT_FALSE(args.Get("absent").has_value());
+  EXPECT_EQ(args.GetOr("absent", "d"), "d");
+  EXPECT_FALSE(args.GetUint("n").has_value());
+  EXPECT_FALSE(args.GetUint("absent").has_value());
+}
+
+TEST(FlagParserTest, FlagFollowedByFlagKeepsBareSemantics) {
+  const auto args = Parse({"--verbose", "--out=x"});
+  EXPECT_EQ(args.GetOr("verbose", ""), "true");
+  EXPECT_EQ(args.GetOr("out", ""), "x");
+}
+
+TEST(FlagParserTest, LastOccurrenceWins) {
+  const auto args = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(args.GetUint("n"), 2u);
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/robustness.h"
+#include "graph/union_find.h"
+#include "util/rng.h"
+
+namespace wsd {
+namespace {
+
+// Builds a host table from explicit (host, {entities}) pairs.
+HostEntityTable MakeTable(
+    const std::vector<std::vector<EntityId>>& site_entities) {
+  std::vector<HostRecord> hosts;
+  for (size_t s = 0; s < site_entities.size(); ++s) {
+    HostRecord rec;
+    rec.host = "site" + std::to_string(s) + ".com";
+    for (EntityId e : site_entities[s]) rec.entities.push_back({e, 1});
+    std::sort(rec.entities.begin(), rec.entities.end(),
+              [](const EntityPages& a, const EntityPages& b) {
+                return a.entity < b.entity;
+              });
+    hosts.push_back(std::move(rec));
+  }
+  return HostEntityTable(std::move(hosts));
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+  uf.Union(0, 2);
+  EXPECT_EQ(uf.SizeOf(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(BipartiteGraphTest, CsrBothDirectionsConsistent) {
+  // sites: 0={0,1}, 1={1,2}, 2={3}
+  const auto table = MakeTable({{0, 1}, {1, 2}, {3}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 5);
+  EXPECT_EQ(graph.num_entities(), 5u);
+  EXPECT_EQ(graph.num_sites(), 3u);
+  EXPECT_EQ(graph.num_edges(), 5u);
+  EXPECT_EQ(graph.num_covered_entities(), 4u);  // entity 4 uncovered
+
+  EXPECT_EQ(graph.EntityDegree(1), 2u);
+  EXPECT_EQ(graph.EntityDegree(4), 0u);
+  EXPECT_EQ(graph.SiteDegree(0), 2u);
+  auto sites_of_1 = graph.SitesOf(1);
+  EXPECT_EQ(std::set<uint32_t>(sites_of_1.begin(), sites_of_1.end()),
+            (std::set<uint32_t>{0, 1}));
+  auto entities_of_1 = graph.EntitiesOf(1);
+  EXPECT_EQ(std::set<uint32_t>(entities_of_1.begin(), entities_of_1.end()),
+            (std::set<uint32_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(graph.AvgSitesPerEntity(), 5.0 / 4.0);
+}
+
+TEST(ComponentsTest, CountsAndLargest) {
+  // Component A: sites 0,1 entities 0,1,2. Component B: site 2, entity 3.
+  const auto table = MakeTable({{0, 1}, {1, 2}, {3}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 5);
+  const auto summary = AnalyzeComponents(graph);
+  EXPECT_EQ(summary.num_components, 2u);
+  EXPECT_EQ(summary.largest_component_entities, 3u);
+  EXPECT_EQ(summary.largest_component_sites, 2u);
+  EXPECT_DOUBLE_EQ(summary.largest_component_entity_fraction, 3.0 / 4.0);
+}
+
+TEST(ComponentsTest, LabelsMatchSummary) {
+  const auto table = MakeTable({{0, 1}, {1, 2}, {3}, {}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 5);
+  const auto labels = LabelComponents(graph);
+  EXPECT_EQ(labels.num_components, 2u);
+  // Zero-degree entity 4 and empty site 3 are unlabeled.
+  EXPECT_EQ(labels.label[4], ComponentLabels::kNoComponent);
+  EXPECT_EQ(labels.label[graph.num_entities() + 3],
+            ComponentLabels::kNoComponent);
+  // Entities 0,1,2 share the largest label.
+  EXPECT_EQ(labels.label[0], labels.largest_label);
+  EXPECT_EQ(labels.label[1], labels.largest_label);
+  EXPECT_EQ(labels.label[2], labels.largest_label);
+  EXPECT_NE(labels.label[3], labels.largest_label);
+}
+
+TEST(DiameterTest, PathGraphExact) {
+  // entity0 - site0 - entity1 - site1 - entity2: diameter 4.
+  const auto table = MakeTable({{0, 1}, {1, 2}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 3);
+  EXPECT_EQ(ExactDiameter(graph).diameter, 4u);
+  EXPECT_EQ(AllPairsDiameter(graph).diameter, 4u);
+}
+
+TEST(DiameterTest, StarGraphIsTwo) {
+  const auto table = MakeTable({{0, 1, 2, 3, 4}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 5);
+  EXPECT_EQ(ExactDiameter(graph).diameter, 2u);
+}
+
+TEST(DiameterTest, UsesLargestComponentOnly) {
+  // Giant: path of length 4; separate pocket: single site/entity.
+  const auto table = MakeTable({{0, 1}, {1, 2}, {9}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 10);
+  const auto result = ExactDiameter(graph);
+  EXPECT_EQ(result.diameter, 4u);
+  EXPECT_EQ(result.component_nodes, 5u);
+}
+
+TEST(DiameterTest, EccentricityOnPath) {
+  const auto table = MakeTable({{0, 1}, {1, 2}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 3);
+  EXPECT_EQ(Eccentricity(graph, 0), 4u);   // end entity
+  EXPECT_EQ(Eccentricity(graph, 1), 2u);   // middle entity
+}
+
+// Property: iFUB agrees with all-pairs BFS on random graphs.
+class DiameterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiameterPropertyTest, IfubMatchesAllPairs) {
+  Rng rng(GetParam());
+  const uint32_t sites = 20 + rng.Index(30);
+  const uint32_t entities = 30 + rng.Index(50);
+  std::vector<std::vector<EntityId>> table(sites);
+  // Sparse random bipartite graph (possibly disconnected).
+  const uint32_t edges = entities + rng.Index(entities);
+  for (uint32_t i = 0; i < edges; ++i) {
+    table[rng.Index(sites)].push_back(
+        static_cast<EntityId>(rng.Index(entities)));
+  }
+  for (auto& v : table) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  const auto graph = BipartiteGraph::FromHostTable(MakeTable(table),
+                                                   entities);
+  const auto fast = ExactDiameter(graph);
+  const auto slow = AllPairsDiameter(graph);
+  EXPECT_EQ(fast.diameter, slow.diameter) << "seed " << GetParam();
+  EXPECT_TRUE(fast.exact);
+  EXPECT_LE(fast.bfs_runs, slow.bfs_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DiameterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(RobustnessTest, RemovingTheOnlyHubDisconnects) {
+  // Hub site covers everything; satellites cover one entity each.
+  const auto table = MakeTable({{0, 1, 2, 3}, {0}, {1}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 4);
+  const auto sweep = RobustnessSweep(graph, 1);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep[0].largest_component_entity_fraction, 1.0);
+  // After removing the hub: entities 0 and 1 survive on their satellites
+  // (two singleton components); 2 and 3 are orphaned.
+  EXPECT_DOUBLE_EQ(sweep[1].largest_component_entity_fraction, 0.25);
+}
+
+TEST(RobustnessTest, SweepIsMonotoneNonIncreasingOnRealisticGraphs) {
+  Rng rng(5);
+  // Random graph with a strong head: site s covers entities with
+  // probability ~ 1/(s+1).
+  const uint32_t sites = 40, entities = 200;
+  std::vector<std::vector<EntityId>> table(sites);
+  for (uint32_t s = 0; s < sites; ++s) {
+    for (uint32_t e = 0; e < entities; ++e) {
+      if (rng.Bernoulli(1.0 / (s + 2.0))) table[s].push_back(e);
+    }
+  }
+  const auto graph = BipartiteGraph::FromHostTable(MakeTable(table),
+                                                   entities);
+  const auto sweep = RobustnessSweep(graph, 10);
+  ASSERT_EQ(sweep.size(), 11u);
+  for (size_t k = 1; k < sweep.size(); ++k) {
+    EXPECT_LE(sweep[k].largest_component_entity_fraction,
+              sweep[k - 1].largest_component_entity_fraction + 1e-12);
+  }
+}
+
+TEST(BipartiteGraphTest, SitesByDegreeDesc) {
+  const auto table = MakeTable({{0}, {0, 1, 2}, {0, 1}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 3);
+  const auto order = graph.SitesByDegreeDesc();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "html/char_ref.h"
+#include "html/dom.h"
+#include "html/text_extract.h"
+#include "html/tokenizer.h"
+
+namespace wsd {
+namespace html {
+namespace {
+
+// ---------- char refs ----------
+
+TEST(CharRefTest, DecodesNamedEntities) {
+  EXPECT_EQ(DecodeCharRefs("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeCharRefs("&lt;tag&gt;"), "<tag>");
+  EXPECT_EQ(DecodeCharRefs("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+  EXPECT_EQ(DecodeCharRefs("a&nbsp;b"), "a\xc2\xa0""b");
+  EXPECT_EQ(DecodeCharRefs("&middot;"), "\xc2\xb7");
+}
+
+TEST(CharRefTest, DecodesNumericReferences) {
+  EXPECT_EQ(DecodeCharRefs("&#65;&#66;"), "AB");
+  EXPECT_EQ(DecodeCharRefs("&#x41;&#X42;"), "AB");
+  EXPECT_EQ(DecodeCharRefs("&#233;"), "\xc3\xa9");  // é
+}
+
+TEST(CharRefTest, PassesThroughUnknownAndMalformed) {
+  EXPECT_EQ(DecodeCharRefs("&unknown;"), "&unknown;");
+  EXPECT_EQ(DecodeCharRefs("a & b"), "a & b");
+  EXPECT_EQ(DecodeCharRefs("&;"), "&;");
+  EXPECT_EQ(DecodeCharRefs("&#xZZ;"), "&#xZZ;");
+  EXPECT_EQ(DecodeCharRefs("50% &"), "50% &");
+}
+
+TEST(CharRefTest, InvalidCodePointsBecomeReplacement) {
+  EXPECT_EQ(DecodeCharRefs("&#x110000;"), "\xef\xbf\xbd");
+  EXPECT_EQ(DecodeCharRefs("&#xD800;"), "\xef\xbf\xbd");
+}
+
+TEST(CharRefTest, EscapeRoundTrip) {
+  const std::string original = "a<b & \"c\" 'd'>";
+  EXPECT_EQ(DecodeCharRefs(EscapeHtml(original)), original);
+}
+
+// ---------- tokenizer ----------
+
+TEST(TokenizerTest, SimpleDocument) {
+  auto tokens = Tokenizer::TokenizeAll("<p>Hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].text, "p");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "Hello");
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[2].text, "p");
+}
+
+TEST(TokenizerTest, AttributesAllQuoteStyles) {
+  auto tokens = Tokenizer::TokenizeAll(
+      "<a href=\"http://x/\" TITLE='hi there' data-id=42 disabled>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const auto& attrs = tokens[0].attributes;
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_EQ(attrs[0].name, "href");
+  EXPECT_EQ(attrs[0].value, "http://x/");
+  EXPECT_EQ(attrs[1].name, "title");  // lower-cased
+  EXPECT_EQ(attrs[1].value, "hi there");
+  EXPECT_EQ(attrs[2].name, "data-id");
+  EXPECT_EQ(attrs[2].value, "42");
+  EXPECT_EQ(attrs[3].name, "disabled");
+  EXPECT_EQ(attrs[3].value, "");
+}
+
+TEST(TokenizerTest, QuotedGtInsideAttribute) {
+  auto tokens = Tokenizer::TokenizeAll("<img alt=\"a > b\" src=x>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "a > b");
+}
+
+TEST(TokenizerTest, SelfClosing) {
+  auto tokens = Tokenizer::TokenizeAll("<br/><hr />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+}
+
+TEST(TokenizerTest, CommentAndDoctype) {
+  auto tokens = Tokenizer::TokenizeAll(
+      "<!DOCTYPE html><!-- a <b> comment --><p>x</p>");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kDoctype);
+  EXPECT_EQ(tokens[1].type, TokenType::kComment);
+  EXPECT_EQ(tokens[1].text, " a <b> comment ");
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  auto tokens = Tokenizer::TokenizeAll(
+      "<script>if (a < b && x) { document.write('<p>no</p>'); }</script>"
+      "<p>after</p>");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "script");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_NE(tokens[1].text.find("a < b"), std::string::npos);
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[2].text, "script");
+}
+
+TEST(TokenizerTest, StrayLtIsText) {
+  auto tokens = Tokenizer::TokenizeAll("1 < 2 and <b>bold</b>");
+  // "1 ", "<", " 2 and ", <b>, "bold", </b>
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "<");
+}
+
+TEST(TokenizerTest, UnterminatedTagAtEofBecomesText) {
+  auto tokens = Tokenizer::TokenizeAll("<p>ok</p><a href=\"x");
+  EXPECT_EQ(tokens.back().type, TokenType::kText);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenizer::TokenizeAll("").empty());
+}
+
+// ---------- DOM ----------
+
+TEST(DomTest, BuildsTree) {
+  Document doc = ParseDocument(
+      "<html><body><div id=a><p>one</p><p>two</p></div></body></html>");
+  auto divs = doc.ElementsByTag("div");
+  ASSERT_EQ(divs.size(), 1u);
+  ASSERT_NE(divs[0]->FindAttribute("id"), nullptr);
+  EXPECT_EQ(*divs[0]->FindAttribute("id"), "a");
+  auto ps = doc.ElementsByTag("p");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->InnerText(), "one");
+  EXPECT_EQ(ps[1]->InnerText(), "two");
+}
+
+TEST(DomTest, AutoClosesParagraphs) {
+  // Unclosed <p> elements: the second <p> must be a sibling, not a child.
+  Document doc = ParseDocument("<body><p>one<p>two</body>");
+  auto ps = doc.ElementsByTag("p");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->InnerText(), "one");
+  EXPECT_EQ(ps[1]->InnerText(), "two");
+  EXPECT_EQ(ps[0]->parent, ps[1]->parent);
+}
+
+TEST(DomTest, VoidElementsTakeNoChildren) {
+  Document doc = ParseDocument("<div><br>text after br</div>");
+  auto brs = doc.ElementsByTag("br");
+  ASSERT_EQ(brs.size(), 1u);
+  EXPECT_TRUE(brs[0]->children.empty());
+  EXPECT_EQ(doc.ElementsByTag("div")[0]->InnerText(), "text after br");
+}
+
+TEST(DomTest, MismatchedEndTagsRecover) {
+  Document doc = ParseDocument("<div><b>x</i></b></div><p>y</p>");
+  EXPECT_EQ(doc.ElementsByTag("p").size(), 1u);
+  EXPECT_EQ(doc.ElementsByTag("b").size(), 1u);
+}
+
+TEST(DomTest, InnerTextDecodesAndSkipsScript) {
+  Document doc = ParseDocument(
+      "<div>caf&eacute;&amp;bar<script>var x=1;</script></div>");
+  // &eacute; is not in our named table -> passes through raw; &amp; decodes.
+  EXPECT_EQ(doc.ElementsByTag("div")[0]->InnerText(),
+            "caf&eacute;&bar");
+}
+
+// ---------- text extraction ----------
+
+TEST(TextExtractTest, VisibleTextSkipsMarkupScriptsStyles) {
+  const std::string page =
+      "<html><head><style>p{color:red}</style>"
+      "<script>var a='<p>x</p>';</script></head>"
+      "<body><p>Hello &amp; welcome</p><div>world</div></body></html>";
+  const std::string text = ExtractVisibleText(page);
+  EXPECT_NE(text.find("Hello & welcome"), std::string::npos);
+  EXPECT_NE(text.find("world"), std::string::npos);
+  EXPECT_EQ(text.find("color:red"), std::string::npos);
+  EXPECT_EQ(text.find("var a"), std::string::npos);
+}
+
+TEST(TextExtractTest, BlockBoundariesBecomeSpaces) {
+  const std::string text =
+      ExtractVisibleText("<p>415</p><p>555<span>0134</span></p>");
+  // The two block-separated numbers must not fuse into one digit run.
+  EXPECT_NE(text.find("415 "), std::string::npos);
+  EXPECT_EQ(text.find("415555"), std::string::npos);
+  // Inline elements do not break the run.
+  EXPECT_NE(text.find("5550134"), std::string::npos);
+}
+
+TEST(TextExtractTest, AnchorsInOrderWithTextAndHref) {
+  const auto anchors = ExtractAnchors(
+      "<a href=\"http://one.com/\">One</a> mid "
+      "<a href='http://two.com/x?y=1'>Two <b>bold</b></a>"
+      "<a>no href</a>");
+  ASSERT_EQ(anchors.size(), 3u);
+  EXPECT_EQ(anchors[0].href, "http://one.com/");
+  EXPECT_EQ(anchors[0].text, "One");
+  EXPECT_EQ(anchors[1].href, "http://two.com/x?y=1");
+  EXPECT_EQ(anchors[1].text, "Two bold");
+  EXPECT_EQ(anchors[2].href, "");
+}
+
+TEST(TextExtractTest, AnchorHrefEntityDecoded) {
+  const auto anchors =
+      ExtractAnchors("<a href=\"http://x.com/?a=1&amp;b=2\">x</a>");
+  ASSERT_EQ(anchors.size(), 1u);
+  EXPECT_EQ(anchors[0].href, "http://x.com/?a=1&b=2");
+}
+
+TEST(TextExtractTest, NestedAnchorRecovery) {
+  const auto anchors = ExtractAnchors(
+      "<a href=\"http://a.com/\">first <a href=\"http://b.com/\">second"
+      "</a>");
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0].text, "first ");
+  EXPECT_EQ(anchors[1].text, "second");
+}
+
+}  // namespace
+}  // namespace html
+}  // namespace wsd

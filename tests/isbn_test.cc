@@ -1,0 +1,139 @@
+#include "entity/isbn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/isbn_extractor.h"
+#include "util/rng.h"
+
+namespace wsd {
+namespace {
+
+TEST(IsbnTest, KnownCheckDigits) {
+  // Well-known reference ISBNs.
+  EXPECT_EQ(Isbn10CheckDigit("030640615"), '2');  // 0306406152
+  EXPECT_EQ(Isbn13CheckDigit("978030640615"), '7');  // 9780306406157
+  EXPECT_EQ(Isbn10CheckDigit("097522980"), 'X');  // 097522980X
+}
+
+TEST(IsbnTest, Validation) {
+  EXPECT_TRUE(IsValidIsbn10("0306406152"));
+  EXPECT_FALSE(IsValidIsbn10("0306406153"));
+  EXPECT_TRUE(IsValidIsbn10("097522980X"));
+  EXPECT_TRUE(IsValidIsbn10("097522980x"));  // lowercase check char
+  EXPECT_FALSE(IsValidIsbn10("0975229800"));  // wrong check digit
+  EXPECT_FALSE(IsValidIsbn10("030640615"));   // short
+  EXPECT_TRUE(IsValidIsbn13("9780306406157"));
+  EXPECT_FALSE(IsValidIsbn13("9780306406158"));
+  EXPECT_FALSE(IsValidIsbn13("1234567890128"));  // no 978/979 prefix
+  EXPECT_FALSE(IsValidIsbn13("978030640615"));   // short
+}
+
+TEST(IsbnTest, SingleDigitCorruptionAlwaysInvalid) {
+  // Both check-digit schemes detect any single-digit substitution.
+  const std::string isbn13 = "9780306406157";
+  for (size_t pos = 3; pos < 13; ++pos) {  // keep the 978 prefix intact
+    for (char d = '0'; d <= '9'; ++d) {
+      if (d == isbn13[pos]) continue;
+      std::string corrupted = isbn13;
+      corrupted[pos] = d;
+      EXPECT_FALSE(IsValidIsbn13(corrupted)) << corrupted;
+    }
+  }
+  const std::string isbn10 = "0306406152";
+  for (size_t pos = 0; pos < 10; ++pos) {
+    for (char d = '0'; d <= '9'; ++d) {
+      if (d == isbn10[pos]) continue;
+      std::string corrupted = isbn10;
+      corrupted[pos] = d;
+      EXPECT_FALSE(IsValidIsbn10(corrupted)) << corrupted;
+    }
+  }
+}
+
+TEST(IsbnTest, ConversionRoundTrip) {
+  auto isbn13 = Isbn10To13("0306406152");
+  ASSERT_TRUE(isbn13.has_value());
+  EXPECT_EQ(*isbn13, "9780306406157");
+  auto back = Isbn13To10(*isbn13);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "0306406152");
+}
+
+TEST(IsbnTest, ConversionRejectsInvalidAnd979) {
+  EXPECT_FALSE(Isbn10To13("0306406153").has_value());
+  EXPECT_FALSE(Isbn13To10("9790306406154").has_value());  // 979 prefix
+}
+
+TEST(IsbnTest, StripSeparators) {
+  EXPECT_EQ(StripIsbnSeparators("978-0-306-40615-7"), "9780306406157");
+  EXPECT_EQ(StripIsbnSeparators("0 306 40615 2"), "0306406152");
+}
+
+TEST(IsbnTest, FromIndexValidAndInjective) {
+  Rng rng(7);
+  std::set<std::string> seen;
+  std::set<uint64_t> indices;
+  while (indices.size() < 5000) indices.insert(rng.Uniform(1000000000ULL));
+  for (uint64_t idx : indices) {
+    const std::string isbn = Isbn13FromIndex(idx);
+    EXPECT_TRUE(IsValidIsbn13(isbn)) << isbn;
+    EXPECT_TRUE(seen.insert(isbn).second) << "collision: " << isbn;
+    // The generated range must have an ISBN-10 counterpart (for the
+    // kBare10 / kHyphenated10 display styles).
+    EXPECT_TRUE(Isbn13To10(isbn).has_value());
+  }
+}
+
+class IsbnStyleRoundTrip : public ::testing::TestWithParam<IsbnStyle> {};
+
+TEST_P(IsbnStyleRoundTrip, ExtractorRecoversIsbn13) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::string isbn13 = Isbn13FromIndex(rng.Uniform(1000000000ULL));
+    const std::string rendered = FormatIsbn(isbn13, GetParam());
+    const std::string text = "Hardcover, ISBN " + rendered + ", 1st ed.";
+    const auto matches = ExtractIsbns(text);
+    ASSERT_EQ(matches.size(), 1u) << text;
+    EXPECT_EQ(matches[0].isbn13, isbn13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, IsbnStyleRoundTrip,
+                         ::testing::Values(IsbnStyle::kBare10,
+                                           IsbnStyle::kBare13,
+                                           IsbnStyle::kHyphenated10,
+                                           IsbnStyle::kHyphenated13));
+
+TEST(IsbnExtractorTest, RequiresIsbnContext) {
+  // A checksum-valid number with no "ISBN" nearby must not match (paper:
+  // "along with the string 'ISBN' in a small window near the match").
+  const auto none = ExtractIsbns("The number 9780306406157 appears here.");
+  EXPECT_TRUE(none.empty());
+  const auto one = ExtractIsbns("ISBN: 9780306406157");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].isbn13, "9780306406157");
+}
+
+TEST(IsbnExtractorTest, ContextAfterTheNumberCounts) {
+  const auto matches = ExtractIsbns("code 9780306406157 (ISBN)");
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(IsbnExtractorTest, RejectsBadChecksumAndWrongLength) {
+  EXPECT_TRUE(ExtractIsbns("ISBN 9780306406158").empty());
+  EXPECT_TRUE(ExtractIsbns("ISBN 97803064061").empty());
+  EXPECT_TRUE(ExtractIsbns("ISBN 12345").empty());
+}
+
+TEST(IsbnExtractorTest, FindsMultiple) {
+  const auto matches = ExtractIsbns(
+      "ISBN 9780306406157 and also ISBN 0-306-40615-2 again");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].isbn13, "9780306406157");
+  EXPECT_EQ(matches[1].isbn13, "9780306406157");  // same book, 10->13
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,98 @@
+#include "entity/phone.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/phone_extractor.h"
+#include "util/rng.h"
+
+namespace wsd {
+namespace {
+
+TEST(PhoneTest, ValidatesNanpRules) {
+  EXPECT_TRUE(IsValidNanp("4155550134"));
+  EXPECT_FALSE(IsValidNanp("415555013"));     // too short
+  EXPECT_FALSE(IsValidNanp("41555501345"));   // too long
+  EXPECT_FALSE(IsValidNanp("115555-0134"));   // non-digit
+  EXPECT_FALSE(IsValidNanp("1155550134"));    // area starts with 1
+  EXPECT_FALSE(IsValidNanp("0155550134"));    // area starts with 0
+  EXPECT_FALSE(IsValidNanp("9115550134"));    // area is N11
+  EXPECT_FALSE(IsValidNanp("4151550134"));    // exchange starts with 1
+  EXPECT_FALSE(IsValidNanp("4159110134"));    // exchange is N11
+  EXPECT_TRUE(IsValidNanp("2012000000"));
+}
+
+TEST(PhoneTest, PartsAccessors) {
+  Phone p("4155550134");
+  EXPECT_EQ(p.area_code(), "415");
+  EXPECT_EQ(p.exchange(), "555");
+  EXPECT_EQ(p.line(), "0134");
+}
+
+TEST(PhoneTest, FormatVariants) {
+  Phone p("4155550134");
+  EXPECT_EQ(p.Format(PhoneFormat::kParenthesized), "(415) 555-0134");
+  EXPECT_EQ(p.Format(PhoneFormat::kDashed), "415-555-0134");
+  EXPECT_EQ(p.Format(PhoneFormat::kDotted), "415.555.0134");
+  EXPECT_EQ(p.Format(PhoneFormat::kSpaced), "415 555 0134");
+  EXPECT_EQ(p.Format(PhoneFormat::kPlusOne), "+1-415-555-0134");
+  EXPECT_EQ(p.Format(PhoneFormat::kBare), "4155550134");
+}
+
+TEST(PhoneTest, FromIndexAlwaysValid) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Phone p = PhoneFromIndex(rng.Uniform(NanpSpaceSize()));
+    EXPECT_TRUE(IsValidNanp(p.digits())) << p.digits();
+  }
+}
+
+TEST(PhoneTest, FromIndexIsInjectiveOnSample) {
+  // Distinct indices must map to distinct numbers (the catalog relies on
+  // this for identifier uniqueness).
+  std::set<std::string> seen;
+  Rng rng(11);
+  std::set<uint64_t> indices;
+  while (indices.size() < 5000) indices.insert(rng.Uniform(NanpSpaceSize()));
+  for (uint64_t idx : indices) {
+    EXPECT_TRUE(seen.insert(PhoneFromIndex(idx).digits()).second)
+        << "collision at index " << idx;
+  }
+}
+
+TEST(PhoneTest, FromIndexCoversBoundaries) {
+  EXPECT_TRUE(IsValidNanp(PhoneFromIndex(0).digits()));
+  EXPECT_TRUE(IsValidNanp(PhoneFromIndex(NanpSpaceSize() - 1).digits()));
+}
+
+TEST(PhoneTest, RandomPhoneIsValid) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(IsValidNanp(RandomPhone(rng).digits()));
+  }
+}
+
+// Property: every display format round-trips through the extractor.
+class PhoneFormatRoundTrip : public ::testing::TestWithParam<PhoneFormat> {};
+
+TEST_P(PhoneFormatRoundTrip, ExtractorRecoversCanonicalDigits) {
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const Phone p = RandomPhone(rng);
+    const std::string text = "Call us at " + p.Format(GetParam()) + " now";
+    const auto matches = ExtractPhones(text);
+    ASSERT_EQ(matches.size(), 1u)
+        << "format " << static_cast<int>(GetParam()) << " text: " << text;
+    EXPECT_EQ(matches[0].digits, p.digits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, PhoneFormatRoundTrip,
+    ::testing::Values(PhoneFormat::kParenthesized, PhoneFormat::kDashed,
+                      PhoneFormat::kDotted, PhoneFormat::kSpaced,
+                      PhoneFormat::kPlusOne, PhoneFormat::kBare));
+
+}  // namespace
+}  // namespace wsd

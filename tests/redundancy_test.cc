@@ -1,0 +1,81 @@
+#include "core/redundancy.h"
+
+#include <gtest/gtest.h>
+
+namespace wsd {
+namespace {
+
+HostEntityTable MakeTable(
+    const std::vector<std::vector<EntityPages>>& sites) {
+  std::vector<HostRecord> hosts;
+  for (size_t s = 0; s < sites.size(); ++s) {
+    HostRecord rec;
+    rec.host = "site" + std::to_string(s) + ".com";
+    rec.entities = sites[s];
+    std::sort(rec.entities.begin(), rec.entities.end(),
+              [](const EntityPages& a, const EntityPages& b) {
+                return a.entity < b.entity;
+              });
+    hosts.push_back(std::move(rec));
+  }
+  return HostEntityTable(std::move(hosts));
+}
+
+TEST(RedundancyTest, Validates) {
+  const auto table = MakeTable({{{0, 1}}});
+  EXPECT_TRUE(AnalyzeRedundancy(table, 0).status().IsInvalidArgument());
+  const auto empty = MakeTable({{}});
+  EXPECT_EQ(AnalyzeRedundancy(empty, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RedundancyTest, HandComputed) {
+  // site0: e0 (2 pages), e1 (1 page); site1: e0 (4 pages).
+  const auto table = MakeTable({{{0, 2}, {1, 1}}, {{0, 4}}});
+  auto report = AnalyzeRedundancy(table, 3);
+  ASSERT_TRUE(report.ok());
+  // pages/mention over 3 mentions: (2+1+4)/3.
+  EXPECT_DOUBLE_EQ(report->pages_per_mention.mean(), 7.0 / 3.0);
+  // sites/entity over covered {e0: 2, e1: 1}.
+  EXPECT_DOUBLE_EQ(report->sites_per_entity.mean(), 1.5);
+  // >= 1: both covered; >= 2: only e0.
+  EXPECT_DOUBLE_EQ(report->fraction_with_at_least[0], 1.0);
+  EXPECT_DOUBLE_EQ(report->fraction_with_at_least[1], 0.5);
+  EXPECT_DOUBLE_EQ(report->fraction_with_at_least[9], 0.0);
+  // Jaccard of {0,1} and {0}: 1/2.
+  EXPECT_EQ(report->head_sites_compared, 2u);
+  EXPECT_DOUBLE_EQ(report->head_pairwise_jaccard, 0.5);
+}
+
+TEST(RedundancyTest, AvailabilityLadderIsMonotone) {
+  const auto table = MakeTable({{{0, 1}, {1, 1}, {2, 1}},
+                                {{0, 1}, {1, 1}},
+                                {{0, 1}},
+                                {{3, 1}}});
+  auto report = AnalyzeRedundancy(table, 5);
+  ASSERT_TRUE(report.ok());
+  for (size_t k = 1; k < report->fraction_with_at_least.size(); ++k) {
+    EXPECT_LE(report->fraction_with_at_least[k],
+              report->fraction_with_at_least[k - 1]);
+  }
+}
+
+TEST(RedundancyTest, SingleSiteHasNoPairs) {
+  const auto table = MakeTable({{{0, 1}}});
+  auto report = AnalyzeRedundancy(table, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->head_sites_compared, 1u);
+  EXPECT_DOUBLE_EQ(report->head_pairwise_jaccard, 0.0);
+}
+
+TEST(RedundancyTest, HeadSitesParameterCapsComparison) {
+  const auto table = MakeTable({{{0, 1}}, {{0, 1}}, {{0, 1}}, {{0, 1}}});
+  auto report = AnalyzeRedundancy(table, 2, /*head_sites=*/2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->head_sites_compared, 2u);
+  // Identical sites: Jaccard 1.
+  EXPECT_DOUBLE_EQ(report->head_pairwise_jaccard, 1.0);
+}
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,237 @@
+// Integration tests: the full §3.1 pipeline (render -> parse -> extract ->
+// match -> aggregate by host) must recover the ground-truth site-entity
+// model exactly for identifier attributes, and approximately (classifier
+// noise) for reviews.
+
+#include "extract/scan_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace wsd {
+namespace {
+
+SyntheticWeb MakeWeb(Attribute attr, uint32_t entities, uint32_t sites,
+                     uint64_t seed = 7) {
+  SyntheticWeb::Config config;
+  config.domain = attr == Attribute::kIsbn ? Domain::kBooks
+                                           : Domain::kRestaurants;
+  config.attr = attr;
+  config.num_entities = entities;
+  config.seed = seed;
+  SpreadParams params = DefaultSpreadParams(config.domain, attr);
+  params.num_sites = sites;
+  config.spread = params;
+  auto web = SyntheticWeb::Create(config);
+  EXPECT_TRUE(web.ok());
+  return std::move(web).value();
+}
+
+// Ground truth: per host name, the set of entity ids in the model.
+std::map<std::string, std::set<EntityId>> GroundTruth(
+    const SyntheticWeb& web) {
+  std::map<std::string, std::set<EntityId>> truth;
+  for (SiteId s = 0; s < web.num_hosts(); ++s) {
+    auto& entities = truth[web.host(s)];
+    for (const SiteMention* m = web.model().site_begin(s);
+         m != web.model().site_end(s); ++m) {
+      entities.insert(m->entity);
+    }
+    if (entities.empty()) truth.erase(web.host(s));
+  }
+  return truth;
+}
+
+std::map<std::string, std::set<EntityId>> Scanned(
+    const HostEntityTable& table) {
+  std::map<std::string, std::set<EntityId>> scanned;
+  for (size_t i = 0; i < table.num_hosts(); ++i) {
+    auto& entities = scanned[table.host(i).host];
+    for (const EntityPages& ep : table.host(i).entities) {
+      entities.insert(ep.entity);
+    }
+  }
+  return scanned;
+}
+
+class ScanExactRecoveryTest : public ::testing::TestWithParam<Attribute> {};
+
+TEST_P(ScanExactRecoveryTest, RecoversModelExactly) {
+  const SyntheticWeb web = MakeWeb(GetParam(), 500, 300);
+  ThreadPool pool(2);
+  const ScanPipeline pipeline(web, pool);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Scanned(result->table), GroundTruth(web));
+  EXPECT_GT(result->stats.pages_scanned, 0u);
+  EXPECT_GT(result->stats.bytes_scanned, result->stats.pages_scanned);
+}
+
+INSTANTIATE_TEST_SUITE_P(IdentifierAttributes, ScanExactRecoveryTest,
+                         ::testing::Values(Attribute::kPhone,
+                                           Attribute::kHomepage,
+                                           Attribute::kIsbn));
+
+TEST(ScanPipelineTest, ReviewScanRequiresDetector) {
+  const SyntheticWeb web = MakeWeb(Attribute::kReviews, 100, 100);
+  ThreadPool pool(1);
+  const ScanPipeline pipeline(web, pool, nullptr);
+  EXPECT_TRUE(pipeline.Run().status().IsInvalidArgument());
+}
+
+TEST(ScanPipelineTest, ReviewScanApproximatesTruth) {
+  const SyntheticWeb web = MakeWeb(Attribute::kReviews, 300, 200);
+  ThreadPool pool(2);
+  auto detector = ReviewDetector::CreateDefault(99);
+  ASSERT_TRUE(detector.ok());
+  const ScanPipeline pipeline(web, pool, &*detector);
+  auto result = pipeline.Run();
+  ASSERT_TRUE(result.ok());
+
+  // Ground truth: review pages per (host, entity).
+  uint64_t truth_review_pages = 0;
+  for (SiteId s = 0; s < web.num_hosts(); ++s) {
+    web.GeneratePages(s, [&](const Page&, const PageTruth& t) {
+      truth_review_pages += t.is_review_page;
+    });
+  }
+  ASSERT_GT(truth_review_pages, 0u);
+  const double recall =
+      static_cast<double>(result->stats.review_pages) /
+      static_cast<double>(truth_review_pages);
+  // The Naive Bayes detector is good but not perfect.
+  EXPECT_GT(recall, 0.85);
+  EXPECT_LT(recall, 1.15);
+}
+
+TEST(ScanPipelineTest, ResultIndependentOfThreadCount) {
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 300, 200);
+  ThreadPool pool1(1), pool4(4);
+  auto r1 = ScanPipeline(web, pool1).Run();
+  auto r4 = ScanPipeline(web, pool4).Run();
+  ASSERT_TRUE(r1.ok() && r4.ok());
+  EXPECT_EQ(Scanned(r1->table), Scanned(r4->table));
+}
+
+TEST(HostTableTest, SizeOrderingIsDescendingAndDeterministic) {
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 400, 250);
+  ThreadPool pool(2);
+  auto result = ScanPipeline(web, pool).Run();
+  ASSERT_TRUE(result.ok());
+  const auto order = result->table.HostsBySizeDesc();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(result->table.host_entity_count(order[i - 1]),
+              result->table.host_entity_count(order[i]));
+  }
+  EXPECT_EQ(order, result->table.HostsBySizeDesc());
+}
+
+TEST(HostTableTest, TsvRoundTrip) {
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 200, 150);
+  ThreadPool pool(2);
+  auto result = ScanPipeline(web, pool).Run();
+  ASSERT_TRUE(result.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsd_host_table.tsv")
+          .string();
+  ASSERT_TRUE(result->table.WriteTsv(path).ok());
+  auto loaded = HostEntityTable::ReadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_hosts(), result->table.num_hosts());
+  for (size_t i = 0; i < loaded->num_hosts(); ++i) {
+    EXPECT_EQ(loaded->host(i).host, result->table.host(i).host);
+    ASSERT_EQ(loaded->host(i).entities.size(),
+              result->table.host(i).entities.size());
+    for (size_t j = 0; j < loaded->host(i).entities.size(); ++j) {
+      EXPECT_EQ(loaded->host(i).entities[j].entity,
+                result->table.host(i).entities[j].entity);
+      EXPECT_EQ(loaded->host(i).entities[j].pages,
+                result->table.host(i).entities[j].pages);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HostTableTest, ReadTsvRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsd_host_bad.tsv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "host.com\t12:3,notanumber:4\n";
+  }
+  EXPECT_TRUE(HostEntityTable::ReadTsv(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(HostTableTest, PruneEmptyHosts) {
+  std::vector<HostRecord> hosts(3);
+  hosts[0].host = "a.com";
+  hosts[0].entities = {{1, 1}};
+  hosts[1].host = "empty.com";
+  hosts[2].host = "b.com";
+  hosts[2].entities = {{2, 1}, {3, 2}};
+  HostEntityTable table(std::move(hosts));
+  EXPECT_EQ(table.PruneEmptyHosts(), 1u);
+  EXPECT_EQ(table.num_hosts(), 2u);
+  EXPECT_EQ(table.TotalEdges(), 3u);
+  EXPECT_EQ(table.TotalEntityPages(), 4u);
+}
+
+
+TEST(ScanCacheFileTest, MatchesLiveScan) {
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 300, 200);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsd_scan_cache.bin")
+          .string();
+  WebCacheWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (SiteId s = 0; s < web.num_hosts(); ++s) {
+    web.GeneratePages(s, [&](const Page& page, const PageTruth&) {
+      ASSERT_TRUE(writer.Append(page).ok());
+    });
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto from_cache =
+      ScanCacheFile(path, web.catalog(), Attribute::kPhone);
+  ASSERT_TRUE(from_cache.ok()) << from_cache.status();
+  ThreadPool pool(2);
+  auto live = ScanPipeline(web, pool).Run();
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(Scanned(from_cache->table), Scanned(live->table));
+  EXPECT_EQ(from_cache->stats.pages_scanned, live->stats.pages_scanned);
+  std::remove(path.c_str());
+}
+
+TEST(ScanCacheFileTest, ErrorsSurface) {
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 50, 50);
+  EXPECT_TRUE(ScanCacheFile("/nonexistent/cache.bin", web.catalog(),
+                            Attribute::kPhone)
+                  .status()
+                  .IsIOError());
+  EXPECT_TRUE(ScanCacheFile("/tmp/whatever.bin", web.catalog(),
+                            Attribute::kReviews, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ModelToHostTableTest, GroundTruthFastPathMatchesFullPipeline) {
+  // The documented contract: for identifier attributes, analysis on the
+  // ground-truth model equals analysis on the extracted tables.
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 400, 250);
+  ThreadPool pool(2);
+  auto live = ScanPipeline(web, pool).Run();
+  ASSERT_TRUE(live.ok());
+  const HostEntityTable truth = ModelToHostTable(web.model());
+  EXPECT_EQ(Scanned(truth), Scanned(live->table));
+}
+
+}  // namespace
+}  // namespace wsd

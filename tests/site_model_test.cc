@@ -1,0 +1,211 @@
+#include "corpus/site_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace wsd {
+namespace {
+
+DomainCatalog MakeCatalog(uint32_t size, uint64_t seed = 42) {
+  auto catalog = DomainCatalog::Build(Domain::kRestaurants, size, seed);
+  EXPECT_TRUE(catalog.ok());
+  return std::move(catalog).value();
+}
+
+TEST(SiteModelTest, ValidatesParams) {
+  const DomainCatalog catalog = MakeCatalog(100);
+  SpreadParams params;
+  params.num_sites = 8;  // too few
+  EXPECT_FALSE(SiteEntityModel::Build(catalog, params, 1).ok());
+  params = SpreadParams();
+  params.mean_degree = 0.5;
+  EXPECT_FALSE(SiteEntityModel::Build(catalog, params, 1).ok());
+  params = SpreadParams();
+  params.head_bias = 1.5;
+  EXPECT_FALSE(SiteEntityModel::Build(catalog, params, 1).ok());
+  params = SpreadParams();
+  params.isolated_fraction = 0.9;
+  EXPECT_FALSE(SiteEntityModel::Build(catalog, params, 1).ok());
+}
+
+TEST(SiteModelTest, EveryEntityIsMentionedSomewhere) {
+  const DomainCatalog catalog = MakeCatalog(2000);
+  const SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  auto model = SiteEntityModel::Build(catalog, params, 7);
+  ASSERT_TRUE(model.ok());
+  std::set<EntityId> mentioned;
+  for (SiteId s = 0; s < model->num_sites(); ++s) {
+    for (const SiteMention* m = model->site_begin(s);
+         m != model->site_end(s); ++m) {
+      ASSERT_LT(m->entity, catalog.size());
+      ASSERT_GE(m->mention_pages, 1u);
+      mentioned.insert(m->entity);
+    }
+  }
+  EXPECT_EQ(mentioned.size(), catalog.size());
+}
+
+TEST(SiteModelTest, MeanDegreeNearTarget) {
+  const DomainCatalog catalog = MakeCatalog(5000);
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  params.false_match_fraction = 0.0;
+  auto model = SiteEntityModel::Build(catalog, params, 11);
+  ASSERT_TRUE(model.ok());
+  const double mean = static_cast<double>(model->num_edges()) /
+                      static_cast<double>(catalog.size());
+  // Discretization/truncation allows ~15% drift.
+  EXPECT_NEAR(mean, params.mean_degree, params.mean_degree * 0.15);
+}
+
+TEST(SiteModelTest, NoDuplicateEdgesPerRegularEntity) {
+  const DomainCatalog catalog = MakeCatalog(1000);
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  params.false_match_fraction = 0.0;  // false matches may duplicate
+  params.isolated_fraction = 0.0;
+  auto model = SiteEntityModel::Build(catalog, params, 13);
+  ASSERT_TRUE(model.ok());
+  std::set<std::pair<SiteId, EntityId>> seen;
+  for (SiteId s = 0; s < model->num_sites(); ++s) {
+    for (const SiteMention* m = model->site_begin(s);
+         m != model->site_end(s); ++m) {
+      EXPECT_TRUE(seen.insert({s, m->entity}).second)
+          << "duplicate edge site=" << s << " entity=" << m->entity;
+    }
+  }
+}
+
+TEST(SiteModelTest, DeterministicInSeed) {
+  const DomainCatalog catalog = MakeCatalog(500);
+  const SpreadParams params =
+      DefaultSpreadParams(Domain::kBanks, Attribute::kPhone);
+  auto a = SiteEntityModel::Build(catalog, params, 99);
+  auto b = SiteEntityModel::Build(catalog, params, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  ASSERT_EQ(a->num_sites(), b->num_sites());
+  for (SiteId s = 0; s < a->num_sites(); ++s) {
+    ASSERT_EQ(a->site_size(s), b->site_size(s)) << "site " << s;
+  }
+}
+
+TEST(SiteModelTest, HeadSitesAreLargest) {
+  const DomainCatalog catalog = MakeCatalog(5000);
+  const SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  auto model = SiteEntityModel::Build(catalog, params, 17);
+  ASSERT_TRUE(model.ok());
+  // Rank-0 site must dwarf a mid-tail site.
+  EXPECT_GT(model->site_size(0), model->site_size(5000) * 10);
+  // And cover a majority of the catalog.
+  EXPECT_GT(model->site_size(0), catalog.size() / 2);
+}
+
+TEST(SiteModelTest, PocketEntitiesAreIsolated) {
+  const DomainCatalog catalog = MakeCatalog(2000);
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  params.isolated_fraction = 0.05;  // exaggerate for the test
+  params.false_match_fraction = 0.0;
+  auto model = SiteEntityModel::Build(catalog, params, 19);
+  ASSERT_TRUE(model.ok());
+
+  // Pocket sites are those beyond params.num_sites. Entities there must
+  // appear nowhere else.
+  std::set<EntityId> pocket_entities;
+  for (SiteId s = params.num_sites; s < model->num_sites(); ++s) {
+    for (const SiteMention* m = model->site_begin(s);
+         m != model->site_end(s); ++m) {
+      pocket_entities.insert(m->entity);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(pocket_entities.size()),
+              0.05 * catalog.size(), 0.01 * catalog.size());
+  for (SiteId s = 0; s < params.num_sites; ++s) {
+    for (const SiteMention* m = model->site_begin(s);
+         m != model->site_end(s); ++m) {
+      EXPECT_FALSE(pocket_entities.contains(m->entity))
+          << "pocket entity leaked to regular site " << s;
+    }
+  }
+}
+
+TEST(SiteModelTest, FalseMatchesAreFlaggedAndRare) {
+  const DomainCatalog catalog = MakeCatalog(3000);
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone);
+  params.false_match_fraction = 0.01;
+  auto model = SiteEntityModel::Build(catalog, params, 23);
+  ASSERT_TRUE(model.ok());
+  uint64_t false_matches = 0;
+  for (SiteId s = 0; s < model->num_sites(); ++s) {
+    for (const SiteMention* m = model->site_begin(s);
+         m != model->site_end(s); ++m) {
+      false_matches += m->false_match;
+    }
+  }
+  EXPECT_GT(false_matches, 0u);
+  EXPECT_NEAR(static_cast<double>(false_matches),
+              0.01 * static_cast<double>(model->num_edges()),
+              0.005 * static_cast<double>(model->num_edges()));
+}
+
+TEST(SiteModelTest, HostNamesAreUnique) {
+  const DomainCatalog catalog = MakeCatalog(500);
+  SpreadParams params =
+      DefaultSpreadParams(Domain::kHomeGarden, Attribute::kPhone);
+  auto model = SiteEntityModel::Build(catalog, params, 29);
+  ASSERT_TRUE(model.ok());
+  std::set<std::string> hosts;
+  for (SiteId s = 0; s < model->num_sites(); ++s) {
+    EXPECT_TRUE(hosts.insert(model->host(s)).second)
+        << "duplicate host " << model->host(s);
+  }
+}
+
+TEST(SiteModelTest, DefaultsMatchTable2MeanDegrees) {
+  EXPECT_DOUBLE_EQ(
+      DefaultSpreadParams(Domain::kRestaurants, Attribute::kPhone)
+          .mean_degree,
+      32);
+  EXPECT_DOUBLE_EQ(
+      DefaultSpreadParams(Domain::kHotels, Attribute::kPhone).mean_degree,
+      56);
+  EXPECT_DOUBLE_EQ(
+      DefaultSpreadParams(Domain::kLibraries, Attribute::kHomepage)
+          .mean_degree,
+      251);
+  EXPECT_DOUBLE_EQ(
+      DefaultSpreadParams(Domain::kBooks, Attribute::kIsbn).mean_degree, 8);
+}
+
+class AllDomainAttrBuildTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllDomainAttrBuildTest, BuildsWithDefaults) {
+  const Domain domain = static_cast<Domain>(std::get<0>(GetParam()));
+  const Attribute attr = static_cast<Attribute>(std::get<1>(GetParam()));
+  auto catalog = DomainCatalog::Build(domain, 300, 5);
+  ASSERT_TRUE(catalog.ok());
+  SpreadParams params = DefaultSpreadParams(domain, attr);
+  params.num_sites = 400;  // shrink for test speed
+  auto model = SiteEntityModel::Build(*catalog, params, 5);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->num_edges(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsByAttrs, AllDomainAttrBuildTest,
+    ::testing::Combine(::testing::Range(0, kNumDomains),
+                       ::testing::Values(
+                           static_cast<int>(Attribute::kPhone),
+                           static_cast<int>(Attribute::kHomepage),
+                           static_cast<int>(Attribute::kIsbn),
+                           static_cast<int>(Attribute::kReviews))));
+
+}  // namespace
+}  // namespace wsd

@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wsd {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, TouchesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(pool, 0, touched.size(),
+              [&touched](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 5, 5, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  ParallelFor(pool, 5, 6, [&](size_t i) {
+    EXPECT_EQ(i, 5u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForShardsTest, ShardsPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> shards;
+  ParallelForShards(pool, 10, 250,
+                    [&](size_t /*shard*/, size_t lo, size_t hi) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      shards.emplace_back(lo, hi);
+                    });
+  std::sort(shards.begin(), shards.end());
+  size_t expected_lo = 10;
+  for (const auto& [lo, hi] : shards) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GT(hi, lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 250u);
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  ThreadPool pool(3);
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> total{0};
+  ParallelFor(pool, 0, values.size(), [&](size_t i) {
+    total.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace wsd

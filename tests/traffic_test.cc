@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "traffic/demand.h"
+#include "traffic/review_model.h"
+#include "traffic/traffic_log.h"
+#include "traffic/url_patterns.h"
+#include "util/histogram.h"
+
+namespace wsd {
+namespace {
+
+// ---------- URL patterns ----------
+
+class UrlPatternRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UrlPatternRoundTrip, EntityUrlParsesBack) {
+  const TrafficSite site = static_cast<TrafficSite>(GetParam());
+  for (uint32_t idx : {0u, 7u, 123456u}) {
+    for (uint32_t variant : {0u, 1u}) {
+      const std::string url = EntityUrl(site, idx, variant);
+      auto key = ParseEntityUrl(url);
+      ASSERT_TRUE(key.has_value()) << url;
+      EXPECT_EQ(key->site, site);
+      EXPECT_EQ(key->entity_index, idx);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, UrlPatternRoundTrip,
+    ::testing::Values(static_cast<int>(TrafficSite::kAmazon),
+                      static_cast<int>(TrafficSite::kYelp),
+                      static_cast<int>(TrafficSite::kImdb)));
+
+TEST(UrlPatternTest, MatchesPaperPatterns) {
+  // amazon.com/gp/product/[ID] and amazon.com/*/dp/[ID]
+  auto a = ParseEntityUrl("http://www.amazon.com/gp/product/B000000042");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->site, TrafficSite::kAmazon);
+  EXPECT_EQ(a->entity_index, 42u);
+  auto b = ParseEntityUrl(
+      "https://www.amazon.com/Some-Title-Here/dp/B000000007?ref=sr");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->entity_index, 7u);
+  // yelp.com/biz/[ID]
+  auto c = ParseEntityUrl("http://yelp.com/biz/biz-000123");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->site, TrafficSite::kYelp);
+  EXPECT_EQ(c->entity_index, 123u);
+  // imdb.com/title/tt[ID]
+  auto d = ParseEntityUrl("http://www.imdb.com/title/tt0000099/");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->site, TrafficSite::kImdb);
+  EXPECT_EQ(d->entity_index, 99u);
+}
+
+TEST(UrlPatternTest, RejectsNonEntityUrls) {
+  EXPECT_FALSE(ParseEntityUrl("http://www.amazon.com/gp/help/x").has_value());
+  EXPECT_FALSE(ParseEntityUrl("http://www.yelp.com/search?q=pizza")
+                   .has_value());
+  EXPECT_FALSE(ParseEntityUrl("http://www.imdb.com/name/nm0000001/")
+                   .has_value());
+  EXPECT_FALSE(ParseEntityUrl("http://other.com/biz/biz-000001").has_value());
+  EXPECT_FALSE(ParseEntityUrl("not a url").has_value());
+  // Malformed ids.
+  EXPECT_FALSE(ParseEntityUrl("http://yelp.com/biz/mario-grill").has_value());
+  EXPECT_FALSE(
+      ParseEntityUrl("http://www.imdb.com/title/ttXYZ/").has_value());
+}
+
+// ---------- population model ----------
+
+TEST(ReviewModelTest, PopulationShapes) {
+  TrafficSiteParams params = DefaultTrafficParams(TrafficSite::kYelp);
+  params.num_entities = 5000;
+  const SitePopulation pop = BuildPopulation(params, 3);
+  ASSERT_EQ(pop.popularity.size(), 5000u);
+  ASSERT_EQ(pop.reviews.size(), 5000u);
+
+  // Popularity is rank-decreasing with the configured mean.
+  EXPECT_GT(pop.popularity[0], pop.popularity[4999]);
+  RunningStats stats;
+  for (double p : pop.popularity) stats.Add(p);
+  EXPECT_NEAR(stats.mean(), params.mean_visits, params.mean_visits * 0.02);
+
+  // Browse intensity preserves total volume.
+  RunningStats browse;
+  for (double p : pop.browse_intensity) browse.Add(p);
+  EXPECT_NEAR(browse.mean(), params.mean_visits,
+              params.mean_visits * 0.02);
+
+  // Reviews correlate with popularity: head decile has more than tail.
+  double head = 0, tail = 0;
+  for (uint32_t i = 0; i < 500; ++i) head += pop.reviews[i];
+  for (uint32_t i = 4500; i < 5000; ++i) tail += pop.reviews[i];
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(ReviewModelTest, DefaultsAreCalibratedPerSite) {
+  const auto yelp = DefaultTrafficParams(TrafficSite::kYelp);
+  const auto amazon = DefaultTrafficParams(TrafficSite::kAmazon);
+  const auto imdb = DefaultTrafficParams(TrafficSite::kImdb);
+  // IMDb sharpest demand, Yelp flattest (Fig 6).
+  EXPECT_GT(imdb.demand_zipf_s, amazon.demand_zipf_s);
+  EXPECT_GT(amazon.demand_zipf_s, yelp.demand_zipf_s);
+  // IMDb's hump needs a knee; the others are pure power laws.
+  EXPECT_LT(imdb.review_knee_visits, 1e6);
+  EXPECT_NE(imdb.review_tail_gamma, imdb.review_head_gamma);
+}
+
+// ---------- log generation + demand estimation ----------
+
+TEST(TrafficLogTest, EventsParseAndCountsMatchIntensity) {
+  TrafficSiteParams params = DefaultTrafficParams(TrafficSite::kYelp);
+  params.num_entities = 2000;
+  const SitePopulation pop = BuildPopulation(params, 5);
+  TrafficLogOptions options;
+  const TrafficLogGenerator generator(pop, options, 17);
+
+  uint64_t events = 0, parseable = 0;
+  generator.Generate(TrafficChannel::kSearch, [&](const VisitEvent& e) {
+    ++events;
+    EXPECT_LT(e.month, 12);
+    EXPECT_NE(e.cookie, 0u);
+    parseable += ParseEntityUrl(e.url).has_value();
+  });
+  EXPECT_GT(events, 0u);
+  // ~2% noise URLs by default.
+  EXPECT_NEAR(static_cast<double>(parseable) / static_cast<double>(events),
+              0.98, 0.01);
+  EXPECT_NEAR(static_cast<double>(events),
+              generator.ExpectedEvents(TrafficChannel::kSearch),
+              0.1 * generator.ExpectedEvents(TrafficChannel::kSearch));
+}
+
+TEST(DemandEstimatorTest, DeduplicatesCookiesPerPaperRules) {
+  DemandEstimator estimator(TrafficSite::kYelp, 10);
+  auto event = [](uint64_t cookie, uint8_t month, TrafficChannel channel,
+                  uint32_t entity) {
+    VisitEvent e;
+    e.cookie = cookie;
+    e.month = month;
+    e.channel = channel;
+    e.url = EntityUrl(TrafficSite::kYelp, entity);
+    return e;
+  };
+  // Search: same cookie+month deduped; same cookie different month counts
+  // twice (footnote 2: unique cookies *per month*).
+  estimator.Consume(event(1, 0, TrafficChannel::kSearch, 3));
+  estimator.Consume(event(1, 0, TrafficChannel::kSearch, 3));
+  estimator.Consume(event(1, 1, TrafficChannel::kSearch, 3));
+  estimator.Consume(event(2, 0, TrafficChannel::kSearch, 3));
+  // Browse: same cookie deduped across the whole year.
+  estimator.Consume(event(1, 0, TrafficChannel::kBrowse, 3));
+  estimator.Consume(event(1, 5, TrafficChannel::kBrowse, 3));
+  estimator.Consume(event(3, 2, TrafficChannel::kBrowse, 3));
+  // Noise URL skipped.
+  VisitEvent noise;
+  noise.cookie = 9;
+  noise.channel = TrafficChannel::kSearch;
+  noise.url = "http://www.yelp.com/events";
+  estimator.Consume(noise);
+
+  const DemandTable table = estimator.Finalize();
+  EXPECT_DOUBLE_EQ(table.search_demand[3], 3.0);
+  EXPECT_DOUBLE_EQ(table.browse_demand[3], 2.0);
+  EXPECT_EQ(table.events_consumed, 8u);
+  EXPECT_EQ(table.events_skipped, 1u);
+  EXPECT_DOUBLE_EQ(table.search_demand[0], 0.0);
+}
+
+TEST(DemandEstimatorTest, EstimatesTrackLatentPopularity) {
+  TrafficSiteParams params = DefaultTrafficParams(TrafficSite::kImdb);
+  params.num_entities = 1000;
+  const SitePopulation pop = BuildPopulation(params, 7);
+  const TrafficLogGenerator generator(pop, TrafficLogOptions{}, 23);
+  DemandEstimator estimator(TrafficSite::kImdb, params.num_entities);
+  generator.Generate(TrafficChannel::kSearch,
+                     [&](const VisitEvent& e) { estimator.Consume(e); });
+  const DemandTable table = estimator.Finalize();
+  // Head entity demand must dominate deep-tail demand.
+  double head = 0, tail = 0;
+  for (uint32_t i = 0; i < 50; ++i) head += table.search_demand[i];
+  for (uint32_t i = 950; i < 1000; ++i) tail += table.search_demand[i];
+  EXPECT_GT(head, 10 * (tail + 1));
+}
+
+}  // namespace
+}  // namespace wsd

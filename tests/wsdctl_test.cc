@@ -1,0 +1,98 @@
+// Integration smoke tests for the wsdctl CLI: exit codes, TSV output,
+// and the gen-cache/scan-cache loop, exercised through the real binary.
+// Skipped gracefully if the tools target was not built.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace wsd {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The test binary runs with CWD = build/tests; the CLI sits in
+// ../tools/wsdctl. Fall back to a PATH-relative probe for other layouts.
+std::string CliPath() {
+  for (const char* candidate :
+       {"../tools/wsdctl", "./tools/wsdctl", "build/tools/wsdctl"}) {
+    if (fs::exists(candidate)) return candidate;
+  }
+  return "";
+}
+
+int Run(const std::string& args) {
+  const std::string cli = CliPath();
+  if (cli.empty()) return -1;
+  const std::string command = cli + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+#define SKIP_WITHOUT_CLI()                              \
+  if (CliPath().empty()) {                              \
+    GTEST_SKIP() << "wsdctl binary not found";          \
+  }
+
+TEST(WsdctlTest, HelpAndUnknownCommand) {
+  SKIP_WITHOUT_CLI();
+  EXPECT_EQ(Run("help"), 0);
+  EXPECT_EQ(Run(""), 0);  // no args -> help
+  EXPECT_EQ(Run("frobnicate"), 2);
+}
+
+TEST(WsdctlTest, RejectsBadDomainOrAttr) {
+  SKIP_WITHOUT_CLI();
+  EXPECT_EQ(Run("spread --domain nonsense --attr phone"), 2);
+  EXPECT_EQ(Run("spread --domain banks --attr nonsense"), 2);
+  EXPECT_EQ(Run("value --site myspace"), 2);
+}
+
+TEST(WsdctlTest, SpreadWritesTsv) {
+  SKIP_WITHOUT_CLI();
+  const std::string out =
+      (fs::temp_directory_path() / "wsdctl_spread.tsv").string();
+  ASSERT_EQ(Run("spread --domain banks --attr phone --entities 300 "
+                "--scale 0.05 --seed 3 --out " +
+                out),
+            0);
+  std::ifstream in(out);
+  ASSERT_TRUE(in.is_open());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("t\tk1\tk2", 0), 0u) << header;
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_GT(rows, 3);
+  std::remove(out.c_str());
+}
+
+TEST(WsdctlTest, GenCacheThenScanCache) {
+  SKIP_WITHOUT_CLI();
+  const std::string cache =
+      (fs::temp_directory_path() / "wsdctl_cache.bin").string();
+  const std::string common =
+      "--domain banks --attr phone --entities 300 --scale 0.05 --seed 3 ";
+  ASSERT_EQ(Run("gen-cache " + common + "--out " + cache), 0);
+  ASSERT_TRUE(fs::exists(cache));
+  EXPECT_GT(fs::file_size(cache), 1000u);
+  EXPECT_EQ(Run("scan-cache " + common + "--in " + cache), 0);
+  // Scanning a missing cache fails.
+  EXPECT_EQ(Run("scan-cache " + common + "--in /nonexistent/c.bin"), 1);
+  std::remove(cache.c_str());
+}
+
+TEST(WsdctlTest, GraphCommandRuns) {
+  SKIP_WITHOUT_CLI();
+  EXPECT_EQ(Run("graph --domain banks --attr phone --entities 300 "
+                "--scale 0.05 --seed 3"),
+            0);
+}
+
+}  // namespace
+}  // namespace wsd
