@@ -11,7 +11,8 @@
 #include "core/bootstrap.h"
 #include "graph/diameter.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_ext_bootstrap");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader(

@@ -12,7 +12,8 @@
 #include "extract/review_detector.h"
 #include "html/text_extract.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_ext_classifier");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Extension: review classifier operating curve",

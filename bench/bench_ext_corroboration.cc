@@ -12,7 +12,8 @@
 #include "core/corroboration.h"
 #include "core/coverage.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_ext_corroboration");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Extension: accuracy value of k-corroboration",

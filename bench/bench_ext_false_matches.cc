@@ -12,7 +12,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_ext_false_matches");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Extension: effect of false identifier matches",

@@ -10,7 +10,8 @@
 #include "bench_util.h"
 #include "core/redundancy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_ext_redundancy");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Extension: redundancy of structured data",

@@ -7,7 +7,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig2_homepage_spread");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader(

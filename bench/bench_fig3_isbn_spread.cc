@@ -6,7 +6,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig3_isbn_spread");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Figure 3: Spread of Book ISBN Numbers",

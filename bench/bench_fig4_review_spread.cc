@@ -9,7 +9,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig4_review_spread");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Figure 4: Spread of Review Attribute for Restaurants",

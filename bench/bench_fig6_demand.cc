@@ -8,7 +8,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig6_demand");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Figure 6: The long tail of demand",

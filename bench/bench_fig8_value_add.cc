@@ -9,7 +9,8 @@
 #include "bench_util.h"
 #include "core/demand_analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig8_value_add");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Figure 8: Relative value-add of one more review",

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <queue>
 
 #include "core/coverage.h"
@@ -103,4 +105,14 @@ BENCHMARK(BM_RobustnessSweep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so --metrics_out works:
+// unrecognized flags are left for the MetricsExport handler instead
+// of being rejected.
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv,
+                                                 "bench_micro_coverage");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/study.h"
 #include "graph/components.h"
 #include "graph/diameter.h"
@@ -70,4 +72,14 @@ BENCHMARK(BM_Components)->Arg(4000)->Arg(16000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so --metrics_out works:
+// unrecognized flags are left for the MetricsExport handler instead
+// of being rejected.
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv,
+                                                 "bench_micro_graph");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

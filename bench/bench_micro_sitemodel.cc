@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <iostream>
 
 #include "core/coverage.h"
@@ -71,4 +73,14 @@ BENCHMARK(BM_HeadCoverageContrast)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so --metrics_out works:
+// unrecognized flags are left for the MetricsExport handler instead
+// of being rejected.
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv,
+                                                 "bench_micro_sitemodel");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,8 @@
 #include "bench_util.h"
 #include "entity/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_table1_domains");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Table 1: List of Domains",

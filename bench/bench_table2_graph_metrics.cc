@@ -7,7 +7,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_table2_graph_metrics");
   using namespace wsd;
   const StudyOptions options = bench::Options();
   bench::PrintHeader("Table 2: Entity-Site Graphs and Metrics",

@@ -1,11 +1,15 @@
 #ifndef WSD_BENCH_BENCH_UTIL_H_
 #define WSD_BENCH_BENCH_UTIL_H_
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "core/report.h"
 #include "core/study.h"
+#include "util/flags.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace wsd {
@@ -33,6 +37,42 @@ inline void PrintAnchor(const std::string& what, const std::string& paper,
   std::cout << "anchor: " << what << "  [paper: " << paper
             << " | measured: " << measured << "]\n";
 }
+
+/// RAII handler for the benches' --metrics_out flag: construct first
+/// thing in main(); if `--metrics_out=<path>` was passed, the destructor
+/// writes `{"bench": <name>, "metrics": <registry JSON>}` to the path
+/// when the bench exits. Convention (EXPERIMENTS.md): point it at
+/// `BENCH_<figure>.json` next to the bench's TSV output. Without the
+/// flag this is a no-op, so bench output and timing are unchanged.
+class MetricsExport {
+ public:
+  /// Parses --metrics_out from the bench's argv; `bench_name` labels the
+  /// emitted JSON blob.
+  MetricsExport(int argc, char* const* argv, std::string bench_name)
+      : name_(std::move(bench_name)) {
+    const FlagParser flags(argc, argv);
+    if (auto path = flags.Get("metrics_out")) path_ = *path;
+  }
+
+  ~MetricsExport() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    out << "{\n\"bench\": \"" << name_ << "\",\n\"metrics\": "
+        << MetricsRegistry::Global().ToJson() << "\n}\n";
+    if (out.good()) {
+      std::cout << "wrote metrics to " << path_ << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << path_ << "\n";
+    }
+  }
+
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+
+ private:
+  std::string name_;
+  std::string path_;
+};
 
 }  // namespace bench
 }  // namespace wsd

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/metrics.h"
+
 namespace wsd {
 
 StatusOr<SyntheticWeb> SyntheticWeb::Create(const Config& config) {
@@ -31,6 +33,19 @@ StatusOr<SyntheticWeb> SyntheticWeb::Create(const Config& config) {
       *web.catalog_, *web.model_, page_options,
       config.seed ^ 0x9a6e5ULL);
   return web;
+}
+
+void SyntheticWeb::GeneratePages(
+    SiteId s,
+    const std::function<void(const Page&, const PageTruth&)>& sink) const {
+  static Counter& pages_rendered =
+      MetricsRegistry::Global().GetCounter("wsd.corpus.pages_rendered");
+  uint64_t rendered = 0;  // host-local; merged once per call
+  generator_->GeneratePages(s, [&](const Page& page, const PageTruth& truth) {
+    ++rendered;
+    sink(page, truth);
+  });
+  pages_rendered.Increment(rendered);
 }
 
 struct WebCacheWriter::Impl {
@@ -91,6 +106,9 @@ Status WebCacheWriter::Append(const Page& page) {
                    static_cast<std::streamsize>(page.html.size()));
   if (!impl_->out.good()) return Status::IOError("cache write failure");
   ++pages_written_;
+  static Counter& cache_pages_written =
+      MetricsRegistry::Global().GetCounter("wsd.cache.pages_written");
+  cache_pages_written.Increment();
   return Status::OK();
 }
 
@@ -105,16 +123,24 @@ Status WebCacheWriter::Close() {
 
 Status ReadWebCache(const std::string& path,
                     const std::function<void(const Page&)>& sink) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter& open_hits = reg.GetCounter("wsd.cache.open_hits");
+  static Counter& open_misses = reg.GetCounter("wsd.cache.open_misses");
+  static Counter& pages_read = reg.GetCounter("wsd.cache.pages_read");
   std::ifstream in(path, std::ios::in | std::ios::binary);
   if (!in.is_open()) {
+    open_misses.Increment();
     return Status::IOError("cannot open cache for reading: " + path);
   }
   char magic[16];
   in.read(magic, static_cast<std::streamsize>(kCacheMagicLen));
   if (!in || std::memcmp(magic, kCacheMagic, kCacheMagicLen) != 0) {
+    open_misses.Increment();
     return Status::Corruption("bad web cache magic in " + path);
   }
+  open_hits.Increment();
   Page page;
+  uint64_t streamed = 0;  // merged into the registry once per file
   while (true) {
     uint32_t url_len = 0, html_len = 0;
     const ReadU32 first = GetU32(in, &url_len);
@@ -127,10 +153,13 @@ Status ReadWebCache(const std::string& path,
     page.html.resize(html_len);
     if (!in.read(page.url.data(), url_len) ||
         !in.read(page.html.data(), html_len)) {
+      pages_read.Increment(streamed);
       return Status::Corruption("truncated cache payload in " + path);
     }
+    ++streamed;
     sink(page);
   }
+  pages_read.Increment(streamed);
   return Status::OK();
 }
 

@@ -47,12 +47,12 @@ class SyntheticWeb {
   const std::string& host(SiteId s) const { return model_->host(s); }
 
   /// Renders every page of host `s` into `sink`. Thread-safe across
-  /// distinct hosts.
+  /// distinct hosts. Rendered pages count toward the
+  /// `wsd.corpus.pages_rendered` metric (live rendering is the "cache
+  /// miss" path; see docs/METRICS.md).
   void GeneratePages(
       SiteId s,
-      const std::function<void(const Page&, const PageTruth&)>& sink) const {
-    generator_->GeneratePages(s, sink);
-  }
+      const std::function<void(const Page&, const PageTruth&)>& sink) const;
 
  private:
   SyntheticWeb() = default;

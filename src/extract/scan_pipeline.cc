@@ -9,9 +9,44 @@
 #include "entity/url.h"
 #include "extract/matcher.h"
 #include "html/text_extract.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace wsd {
+
+namespace {
+
+// Merges one completed scan into the global registry. Called once per
+// scan (never per page), so the inner extraction loop carries zero
+// instrumentation; ScanStats is the registry's per-run delta.
+void MirrorScanStats(const ScanStats& stats) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter& hosts = reg.GetCounter("wsd.scan.hosts");
+  static Counter& pages = reg.GetCounter("wsd.scan.pages");
+  static Counter& bytes = reg.GetCounter("wsd.scan.bytes");
+  static Counter& mentions = reg.GetCounter("wsd.scan.mentions");
+  static Counter& review_pages = reg.GetCounter("wsd.scan.review_pages");
+  static Counter& skipped_urls = reg.GetCounter("wsd.scan.skipped_urls");
+  static Gauge& pages_per_sec = reg.GetGauge("wsd.scan.pages_per_sec");
+  static Gauge& bytes_per_sec = reg.GetGauge("wsd.scan.bytes_per_sec");
+  static LatencyHistogram& run_seconds =
+      reg.GetHistogram("wsd.scan.run_seconds");
+  hosts.Increment(stats.hosts_scanned);
+  pages.Increment(stats.pages_scanned);
+  bytes.Increment(stats.bytes_scanned);
+  mentions.Increment(stats.entity_mentions);
+  review_pages.Increment(stats.review_pages);
+  skipped_urls.Increment(stats.skipped_urls);
+  if (stats.wall_seconds > 0.0) {
+    pages_per_sec.Set(static_cast<double>(stats.pages_scanned) /
+                      stats.wall_seconds);
+    bytes_per_sec.Set(static_cast<double>(stats.bytes_scanned) /
+                      stats.wall_seconds);
+  }
+  run_seconds.Record(stats.wall_seconds);
+}
+
+}  // namespace
 
 StatusOr<ScanResult> ScanPipeline::Run() const {
   const Attribute attr = web_.config().attr;
@@ -30,44 +65,53 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
 
   std::atomic<uint64_t> mentions{0};
   std::atomic<uint64_t> review_pages{0};
+  LatencyHistogram& shard_seconds =
+      MetricsRegistry::Global().GetHistogram("wsd.scan.shard_seconds");
 
   // Hosts are disjoint, so each iteration owns records[s] exclusively.
-  ParallelFor(pool_, 0, num_hosts, [&](size_t s) {
-    HostRecord& rec = records[s];
-    rec.host = web.host(static_cast<SiteId>(s));
-    // entity -> pages mentioning it on this host.
-    std::map<EntityId, uint32_t> counts;
+  // Counters stay shard-local and merge once per shard; only the shard
+  // wall time is recorded into the registry from inside the parallel
+  // region.
+  ParallelForShards(pool_, 0, num_hosts, [&](size_t /*shard*/, size_t lo,
+                                             size_t hi) {
+    const ScopedTimer shard_timer(shard_seconds);
     uint64_t local_mentions = 0;
     uint64_t local_reviews = 0;
-    web.GeneratePages(
-        static_cast<SiteId>(s),
-        [&](const Page& page, const PageTruth& /*truth*/) {
-          ++rec.pages_scanned;
-          rec.bytes_scanned += page.html.size();
-          std::vector<EntityId> ids;
-          if (attr == Attribute::kHomepage) {
-            ids = matcher.MatchPage(page.html);
-          } else {
-            const std::string text =
-                html::ExtractVisibleText(page.html);
-            if (attr == Attribute::kReviews) {
-              // Two-step methodology: phone match first, then the Naive
-              // Bayes review decision over the page text.
-              ids = matcher.MatchPage(text);
-              if (!ids.empty() && !detector->IsReview(text)) {
-                ids.clear();
-              }
-              if (!ids.empty()) ++local_reviews;
+    for (size_t s = lo; s < hi; ++s) {
+      HostRecord& rec = records[s];
+      rec.host = web.host(static_cast<SiteId>(s));
+      // entity -> pages mentioning it on this host.
+      std::map<EntityId, uint32_t> counts;
+      web.GeneratePages(
+          static_cast<SiteId>(s),
+          [&](const Page& page, const PageTruth& /*truth*/) {
+            ++rec.pages_scanned;
+            rec.bytes_scanned += page.html.size();
+            std::vector<EntityId> ids;
+            if (attr == Attribute::kHomepage) {
+              ids = matcher.MatchPage(page.html);
             } else {
-              ids = matcher.MatchPage(text);
+              const std::string text =
+                  html::ExtractVisibleText(page.html);
+              if (attr == Attribute::kReviews) {
+                // Two-step methodology: phone match first, then the Naive
+                // Bayes review decision over the page text.
+                ids = matcher.MatchPage(text);
+                if (!ids.empty() && !detector->IsReview(text)) {
+                  ids.clear();
+                }
+                if (!ids.empty()) ++local_reviews;
+              } else {
+                ids = matcher.MatchPage(text);
+              }
             }
-          }
-          local_mentions += ids.size();
-          for (EntityId id : ids) ++counts[id];
-        });
-    rec.entities.reserve(counts.size());
-    for (const auto& [id, pages] : counts) {
-      rec.entities.push_back({id, pages});
+            local_mentions += ids.size();
+            for (EntityId id : ids) ++counts[id];
+          });
+      rec.entities.reserve(counts.size());
+      for (const auto& [id, pages] : counts) {
+        rec.entities.push_back({id, pages});
+      }
     }
     mentions.fetch_add(local_mentions, std::memory_order_relaxed);
     review_pages.fetch_add(local_reviews, std::memory_order_relaxed);
@@ -84,6 +128,7 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
   result.stats.review_pages = review_pages.load();
   result.table.PruneEmptyHosts();
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  MirrorScanStats(result.stats);
   return result;
 }
 
@@ -159,9 +204,10 @@ StatusOr<ScanResult> ScanCacheFile(const std::string& path,
   }
   result.stats.entity_mentions = mentions;
   result.stats.review_pages = review_pages;
+  result.stats.skipped_urls = skipped_urls;
   result.table.PruneEmptyHosts();
   result.stats.wall_seconds = timer.ElapsedSeconds();
-  (void)skipped_urls;
+  MirrorScanStats(result.stats);
   return result;
 }
 

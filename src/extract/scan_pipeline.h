@@ -12,13 +12,19 @@
 
 namespace wsd {
 
-/// Scan statistics, reported alongside the table.
+/// Scan statistics, reported alongside the table. Every field is a view
+/// over the global MetricsRegistry's `wsd.scan.*` counters: when a scan
+/// completes, its shard-locally accumulated totals are merged once into
+/// the registry, so the counter deltas across a scan equal the returned
+/// stats exactly (asserted in scan_pipeline_test). See docs/METRICS.md
+/// for the metric names.
 struct ScanStats {
   uint64_t hosts_scanned = 0;
   uint64_t pages_scanned = 0;
   uint64_t bytes_scanned = 0;
   uint64_t entity_mentions = 0;   // matched (page, entity) pairs
   uint64_t review_pages = 0;      // review scans only
+  uint64_t skipped_urls = 0;      // cache scans: unparseable page URLs
   double wall_seconds = 0.0;
 };
 

@@ -3,10 +3,13 @@
 #include <unordered_map>
 
 #include "graph/union_find.h"
+#include "util/metrics.h"
 
 namespace wsd {
 
 ComponentSummary AnalyzeComponents(const BipartiteGraph& graph) {
+  const ScopedTimer phase_timer(
+      MetricsRegistry::Global().GetHistogram("wsd.graph.components_seconds"));
   const uint32_t n_ent = graph.num_entities();
   UnionFind uf(graph.num_nodes());
   for (uint32_t e = 0; e < n_ent; ++e) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace wsd {
 
@@ -77,7 +78,10 @@ uint32_t Eccentricity(const BipartiteGraph& graph, uint32_t node) {
   return Bfs(graph, node, scratch).first;
 }
 
-DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs) {
+namespace {
+
+DiameterResult ExactDiameterImpl(const BipartiteGraph& graph,
+                                 uint32_t max_bfs) {
   DiameterResult result;
   const ComponentLabels labels = LabelComponents(graph);
   if (labels.largest_label == ComponentLabels::kNoComponent) {
@@ -168,6 +172,18 @@ DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs) {
     upper = std::min(upper, 2 * (i - 1));
   }
   result.diameter = lower;
+  return result;
+}
+
+}  // namespace
+
+DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs) {
+  const ScopedTimer phase_timer(
+      MetricsRegistry::Global().GetHistogram("wsd.graph.diameter_seconds"));
+  const DiameterResult result = ExactDiameterImpl(graph, max_bfs);
+  MetricsRegistry::Global()
+      .GetCounter("wsd.graph.bfs_runs")
+      .Increment(result.bfs_runs);
   return result;
 }
 

@@ -4,11 +4,14 @@
 #include <unordered_set>
 
 #include "graph/union_find.h"
+#include "util/metrics.h"
 
 namespace wsd {
 
 std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
                                              uint32_t max_removed) {
+  const ScopedTimer phase_timer(
+      MetricsRegistry::Global().GetHistogram("wsd.graph.robustness_seconds"));
   const uint32_t n_ent = graph.num_entities();
   const std::vector<uint32_t> order = graph.SitesByDegreeDesc();
   const uint32_t limit =

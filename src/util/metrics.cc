@@ -1,0 +1,266 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+LatencyHistogram::LatencyHistogram(int max_bucket) : hist_(max_bucket) {}
+
+void LatencyHistogram::Record(double seconds) {
+  const double clamped = std::max(0.0, seconds);
+  const uint64_t us = static_cast<uint64_t>(clamped * 1e6);
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Add(us);
+  stats_.Add(clamped);
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double LatencyHistogram::sum_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.sum();
+}
+
+double LatencyHistogram::min_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count() == 0 ? 0.0 : stats_.min();
+}
+
+double LatencyHistogram::max_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count() == 0 ? 0.0 : stats_.max();
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = stats_.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < hist_.num_buckets(); ++b) {
+    cumulative += hist_.bucket_count(b);
+    if (cumulative >= target) {
+      if (b == hist_.num_buckets() - 1) return stats_.max();
+      // The bucket's upper edge, capped at the observed max so the top
+      // quantile is exact and no estimate exceeds a recorded value.
+      return std::min(static_cast<double>(hist_.BucketRange(b).second) / 1e6,
+                      stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+int LatencyHistogram::num_buckets() const { return hist_.num_buckets(); }
+
+uint64_t LatencyHistogram::bucket_count(int b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_.bucket_count(b);
+}
+
+double LatencyHistogram::BucketUpperSeconds(int b) const {
+  if (b >= hist_.num_buckets() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(hist_.BucketRange(b).second) / 1e6;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_ = Log2Histogram(hist_.num_buckets() - 1);
+  stats_ = RunningStats();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::string> SortedKeys(std::mutex& mu, const Map& map) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [name, metric] : map) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.9g", v);
+}
+
+/// `wsd.scan.pages` -> `wsd_scan_pages`; Prometheus names admit only
+/// [a-zA-Z0-9_:].
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonString(name, &out);
+      out += StrFormat(": %llu",
+                       static_cast<unsigned long long>(counter->value()));
+    }
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, gauge] : gauges_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonString(name, &out);
+      out += ": " + JsonDouble(gauge->value());
+    }
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, hist] : histograms_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonString(name, &out);
+      out += StrFormat(
+          ": {\"count\": %llu, \"sum_seconds\": %s, \"min\": %s, "
+          "\"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, "
+          "\"buckets\": [",
+          static_cast<unsigned long long>(hist->count()),
+          JsonDouble(hist->sum_seconds()).c_str(),
+          JsonDouble(hist->min_seconds()).c_str(),
+          JsonDouble(hist->max_seconds()).c_str(),
+          JsonDouble(hist->Quantile(0.50)).c_str(),
+          JsonDouble(hist->Quantile(0.90)).c_str(),
+          JsonDouble(hist->Quantile(0.99)).c_str());
+      bool first_bucket = true;
+      for (int b = 0; b < hist->num_buckets(); ++b) {
+        const uint64_t n = hist->bucket_count(b);
+        if (n == 0) continue;  // sparse: empty buckets are implicit
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        const double upper = hist->BucketUpperSeconds(b);
+        out += StrFormat(
+            "{\"le\": %s, \"count\": %llu}",
+            std::isfinite(upper) ? JsonDouble(upper).c_str() : "\"+Inf\"",
+            static_cast<unsigned long long>(n));
+      }
+      out += "]}";
+    }
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom +
+           StrFormat(" %llu\n",
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + StrFormat(" %.9g\n", gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < hist->num_buckets(); ++b) {
+      const uint64_t n = hist->bucket_count(b);
+      cumulative += n;
+      if (n == 0 && b != hist->num_buckets() - 1) continue;
+      const double upper = hist->BucketUpperSeconds(b);
+      const std::string le =
+          std::isfinite(upper) ? StrFormat("%.9g", upper) : "+Inf";
+      out += prom +
+             StrFormat("_bucket{le=\"%s\"} %llu\n", le.c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += prom + StrFormat("_sum %.9g\n", hist->sum_seconds());
+    out += prom +
+           StrFormat("_count %llu\n",
+                     static_cast<unsigned long long>(hist->count()));
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  return SortedKeys(mu_, counters_);
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  return SortedKeys(mu_, gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  return SortedKeys(mu_, histograms_);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace wsd

@@ -1,0 +1,192 @@
+/// \file metrics.h
+/// Process-wide observability: named counters, gauges and log-binned
+/// latency histograms collected in a thread-safe MetricsRegistry, with
+/// JSON and Prometheus-style text exporters. Hot paths (thread pool,
+/// scan pipeline, web cache, graph analyses) publish into the global
+/// registry; `wsdctl metrics` and the benches' `--metrics_out` flag dump
+/// it. Naming convention: `wsd.<module>.<metric>` (see docs/METRICS.md).
+
+#ifndef WSD_UTIL_METRICS_H_
+#define WSD_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace wsd {
+
+/// Monotonically increasing event count. Lock-free; increments are
+/// relaxed atomics, so a Counter is safe to bump from any thread. Hot
+/// loops should accumulate shard-locally and Increment() once per shard
+/// (the scan pipeline's pattern) so instrumentation stays off the inner
+/// path.
+class Counter {
+ public:
+  /// Adds `delta` (default 1) to the counter.
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Current total.
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter (registry Reset(); tests).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, throughput of the last
+/// run). Stored as a double so rates fit naturally.
+class Gauge {
+ public:
+  /// Overwrites the gauge.
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Adds `delta` (may be negative).
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Current value.
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution with power-of-two buckets over whole
+/// microseconds — the same binning as Log2Histogram (histogram.h), which
+/// it reuses: bucket b holds durations d with floor(log2(us(d)+1)) == b.
+/// Also tracks count/sum/min/max exactly (RunningStats). Thread-safe via
+/// an internal mutex; Record() is intended for coarse events (per shard,
+/// per phase), not per-page inner loops.
+class LatencyHistogram {
+ public:
+  /// `max_bucket` is the final open-ended bucket; 40 covers ~13 days.
+  explicit LatencyHistogram(int max_bucket = 40);
+
+  /// Records one duration in seconds (negative values clamp to 0).
+  void Record(double seconds);
+
+  /// Number of recorded durations.
+  uint64_t count() const;
+  /// Sum of recorded durations, in seconds.
+  double sum_seconds() const;
+  /// Smallest recorded duration (0 when empty).
+  double min_seconds() const;
+  /// Largest recorded duration (0 when empty).
+  double max_seconds() const;
+
+  /// Upper bound of the q-quantile (0 <= q <= 1) from the bucket bounds:
+  /// the inclusive upper edge, in seconds, of the first bucket whose
+  /// cumulative count reaches q * count(). Monotone in q by
+  /// construction; the final bucket reports max_seconds(). 0 when empty.
+  double Quantile(double q) const;
+
+  /// Number of buckets (for exporters).
+  int num_buckets() const;
+  /// Observations in bucket `b`.
+  uint64_t bucket_count(int b) const;
+  /// Inclusive upper edge of bucket `b` in seconds; +inf for the last.
+  double BucketUpperSeconds(int b) const;
+
+  /// Clears all recorded durations.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Log2Histogram hist_;
+  RunningStats stats_;
+};
+
+/// Process-wide, thread-safe registry of named metrics. Get*() returns a
+/// reference that stays valid for the registry's lifetime (metrics are
+/// never unregistered), so call sites hoist the lookup:
+///
+///     static Counter& pages =
+///         MetricsRegistry::Global().GetCounter("wsd.scan.pages");
+///
+/// Global() is a leaked singleton, safe to touch from worker threads and
+/// static destructors alike.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all instrumentation publishes into.
+  static MetricsRegistry& Global();
+
+  /// Counter registered under `name`, created on first use.
+  Counter& GetCounter(const std::string& name);
+  /// Gauge registered under `name`, created on first use.
+  Gauge& GetGauge(const std::string& name);
+  /// Histogram registered under `name`, created on first use.
+  LatencyHistogram& GetHistogram(const std::string& name);
+
+  /// Sorted names of all registered counters.
+  std::vector<std::string> CounterNames() const;
+  /// Sorted names of all registered gauges.
+  std::vector<std::string> GaugeNames() const;
+  /// Sorted names of all registered histograms.
+  std::vector<std::string> HistogramNames() const;
+
+  /// Machine-readable export: one JSON object with "counters", "gauges"
+  /// and "histograms" sections (quantiles and buckets included). The
+  /// benches embed this under a "metrics" key in BENCH_*.json files.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Metric names are sanitized
+  /// (`wsd.scan.pages` -> `wsd_scan_pages`); histograms expand into
+  /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+  std::string ToPrometheus() const;
+
+  /// Zeroes every registered metric without unregistering it; existing
+  /// references stay valid. Test isolation only — not thread-safe with
+  /// respect to concurrent writers observing consistent totals.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// RAII stopwatch: records the scope's wall time into a LatencyHistogram
+/// on destruction. The instrument of choice for phase timing:
+///
+///     ScopedTimer timer(
+///         MetricsRegistry::Global().GetHistogram(
+///             "wsd.graph.diameter_seconds"));
+class ScopedTimer {
+ public:
+  /// `hist` must outlive the timer (registry metrics always do).
+  explicit ScopedTimer(LatencyHistogram& hist) : hist_(hist) {}
+
+  ~ScopedTimer() { hist_.Record(timer_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram& hist_;
+  Timer timer_;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_METRICS_H_

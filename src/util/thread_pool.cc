@@ -2,12 +2,43 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace wsd {
+
+namespace {
+
+// Pool metrics (docs/METRICS.md): lookups hoisted out of the task path.
+struct PoolMetrics {
+  Counter& tasks_submitted;
+  Counter& tasks_completed;
+  Counter& worker_idle_us;
+  Gauge& queue_depth;
+  Gauge& workers;
+  LatencyHistogram& task_seconds;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = [] {
+      auto& reg = MetricsRegistry::Global();
+      return new PoolMetrics{reg.GetCounter("wsd.pool.tasks_submitted"),
+                             reg.GetCounter("wsd.pool.tasks_completed"),
+                             reg.GetCounter("wsd.pool.worker_idle_us"),
+                             reg.GetGauge("wsd.pool.queue_depth"),
+                             reg.GetGauge("wsd.pool.workers"),
+                             reg.GetHistogram("wsd.pool.task_seconds")};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  PoolMetrics::Get().workers.Add(static_cast<double>(num_threads));
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -21,14 +52,18 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  PoolMetrics::Get().workers.Add(-static_cast<double>(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  metrics.tasks_submitted.Increment();
+  metrics.queue_depth.Add(1.0);
   work_cv_.notify_one();
 }
 
@@ -38,16 +73,25 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      const Timer idle;
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      metrics.worker_idle_us.Increment(
+          static_cast<uint64_t>(idle.ElapsedSeconds() * 1e6));
       if (queue_.empty()) return;  // shutdown with drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    metrics.queue_depth.Add(-1.0);
+    {
+      ScopedTimer timer(metrics.task_seconds);
+      task();
+    }
+    metrics.tasks_completed.Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/metrics.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -116,6 +118,53 @@ TEST(ScanPipelineTest, ResultIndependentOfThreadCount) {
   auto r4 = ScanPipeline(web, pool4).Run();
   ASSERT_TRUE(r1.ok() && r4.ok());
   EXPECT_EQ(Scanned(r1->table), Scanned(r4->table));
+}
+
+// Snapshot of the wsd.scan.* counters that mirror ScanStats.
+struct ScanCounterSnapshot {
+  uint64_t hosts, pages, bytes, mentions, review_pages;
+};
+
+ScanCounterSnapshot TakeScanSnapshot() {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  return {r.GetCounter("wsd.scan.hosts").value(),
+          r.GetCounter("wsd.scan.pages").value(),
+          r.GetCounter("wsd.scan.bytes").value(),
+          r.GetCounter("wsd.scan.mentions").value(),
+          r.GetCounter("wsd.scan.review_pages").value()};
+}
+
+TEST(ScanPipelineTest, ScanStatsEqualsRegistryDelta) {
+  // ScanStats is documented as a thin view over the global registry: the
+  // counter deltas across one Run() must equal the returned stats exactly,
+  // regardless of thread count.
+  const SyntheticWeb web = MakeWeb(Attribute::kPhone, 300, 200);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const ScanCounterSnapshot before = TakeScanSnapshot();
+    auto result = ScanPipeline(web, pool).Run();
+    ASSERT_TRUE(result.ok());
+    const ScanCounterSnapshot after = TakeScanSnapshot();
+    const ScanStats& stats = result->stats;
+    EXPECT_EQ(after.hosts - before.hosts, stats.hosts_scanned)
+        << "threads=" << threads;
+    EXPECT_EQ(after.pages - before.pages, stats.pages_scanned);
+    EXPECT_EQ(after.bytes - before.bytes, stats.bytes_scanned);
+    EXPECT_EQ(after.mentions - before.mentions, stats.entity_mentions);
+    EXPECT_EQ(after.review_pages - before.review_pages, stats.review_pages);
+    // A run always lands in the run-duration histogram and the throughput
+    // gauges reflect this scan.
+    EXPECT_GT(MetricsRegistry::Global()
+                  .GetHistogram("wsd.scan.run_seconds")
+                  .count(),
+              0u);
+    if (stats.wall_seconds > 0) {
+      EXPECT_GT(MetricsRegistry::Global()
+                    .GetGauge("wsd.scan.pages_per_sec")
+                    .value(),
+                0.0);
+    }
+  }
 }
 
 TEST(HostTableTest, SizeOrderingIsDescendingAndDeterministic) {

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace wsd {
@@ -25,7 +26,7 @@ std::string CliPath() {
   return "";
 }
 
-int Run(const std::string& args) {
+int RunCli(const std::string& args) {
   const std::string cli = CliPath();
   if (cli.empty()) return -1;
   const std::string command = cli + " " + args + " > /dev/null 2>&1";
@@ -40,23 +41,23 @@ int Run(const std::string& args) {
 
 TEST(WsdctlTest, HelpAndUnknownCommand) {
   SKIP_WITHOUT_CLI();
-  EXPECT_EQ(Run("help"), 0);
-  EXPECT_EQ(Run(""), 0);  // no args -> help
-  EXPECT_EQ(Run("frobnicate"), 2);
+  EXPECT_EQ(RunCli("help"), 0);
+  EXPECT_EQ(RunCli(""), 0);  // no args -> help
+  EXPECT_EQ(RunCli("frobnicate"), 2);
 }
 
 TEST(WsdctlTest, RejectsBadDomainOrAttr) {
   SKIP_WITHOUT_CLI();
-  EXPECT_EQ(Run("spread --domain nonsense --attr phone"), 2);
-  EXPECT_EQ(Run("spread --domain banks --attr nonsense"), 2);
-  EXPECT_EQ(Run("value --site myspace"), 2);
+  EXPECT_EQ(RunCli("spread --domain nonsense --attr phone"), 2);
+  EXPECT_EQ(RunCli("spread --domain banks --attr nonsense"), 2);
+  EXPECT_EQ(RunCli("value --site myspace"), 2);
 }
 
 TEST(WsdctlTest, SpreadWritesTsv) {
   SKIP_WITHOUT_CLI();
   const std::string out =
       (fs::temp_directory_path() / "wsdctl_spread.tsv").string();
-  ASSERT_EQ(Run("spread --domain banks --attr phone --entities 300 "
+  ASSERT_EQ(RunCli("spread --domain banks --attr phone --entities 300 "
                 "--scale 0.05 --seed 3 --out " +
                 out),
             0);
@@ -78,20 +79,63 @@ TEST(WsdctlTest, GenCacheThenScanCache) {
       (fs::temp_directory_path() / "wsdctl_cache.bin").string();
   const std::string common =
       "--domain banks --attr phone --entities 300 --scale 0.05 --seed 3 ";
-  ASSERT_EQ(Run("gen-cache " + common + "--out " + cache), 0);
+  ASSERT_EQ(RunCli("gen-cache " + common + "--out " + cache), 0);
   ASSERT_TRUE(fs::exists(cache));
   EXPECT_GT(fs::file_size(cache), 1000u);
-  EXPECT_EQ(Run("scan-cache " + common + "--in " + cache), 0);
+  EXPECT_EQ(RunCli("scan-cache " + common + "--in " + cache), 0);
   // Scanning a missing cache fails.
-  EXPECT_EQ(Run("scan-cache " + common + "--in /nonexistent/c.bin"), 1);
+  EXPECT_EQ(RunCli("scan-cache " + common + "--in /nonexistent/c.bin"), 1);
   std::remove(cache.c_str());
 }
 
 TEST(WsdctlTest, GraphCommandRuns) {
   SKIP_WITHOUT_CLI();
-  EXPECT_EQ(Run("graph --domain banks --attr phone --entities 300 "
+  EXPECT_EQ(RunCli("graph --domain banks --attr phone --entities 300 "
                 "--scale 0.05 --seed 3"),
             0);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(WsdctlTest, MetricsSubcommandDumpsPopulatedRegistry) {
+  SKIP_WITHOUT_CLI();
+  const std::string out =
+      (fs::temp_directory_path() / "wsdctl_metrics.prom").string();
+  const std::string command =
+      CliPath() +
+      " metrics --domain banks --attr phone --entities 300 --scale 0.05"
+      " --seed 3 > " +
+      out + " 2>/dev/null";
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0);
+  const std::string text = ReadFile(out);
+  // Counters, gauges and shard/run/task histograms must all be present
+  // after a scan (Prometheus exposition names).
+  EXPECT_NE(text.find("wsd_scan_pages "), std::string::npos) << text;
+  EXPECT_NE(text.find("wsd_pool_tasks_completed "), std::string::npos);
+  EXPECT_NE(text.find("wsd_scan_pages_per_sec "), std::string::npos);
+  EXPECT_NE(text.find("wsd_scan_shard_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("wsd_scan_run_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("wsd_pool_task_seconds_sum"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(WsdctlTest, MetricsOutWritesJsonForAnyCommand) {
+  SKIP_WITHOUT_CLI();
+  const std::string out =
+      (fs::temp_directory_path() / "wsdctl_metrics.json").string();
+  ASSERT_EQ(RunCli("graph --domain banks --attr phone --entities 300 "
+                   "--scale 0.05 --seed 3 --metrics_out=" +
+                   out),
+            0);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("\"wsd.scan.pages\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"wsd.graph.diameter_seconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"wsd.graph.components_seconds\""), std::string::npos);
+  std::remove(out.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the repo's markdown files for inline links ``[text](target)`` and
+fails if a relative target (after stripping any ``#anchor``) does not
+exist on disk. External (``http://``, ``https://``, ``mailto:``) and
+pure-anchor links are skipped — CI must not depend on network access.
+
+Usage: python3 tools/check_md_links.py [root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links; [text](target "title") titles are stripped below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "docs/api", "third_party"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(str(rel).startswith(d) for d in SKIP_DIRS):
+            continue
+        yield path
+
+
+def check(root: Path) -> int:
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+    if broken:
+        print("check_md_links: broken relative links:", file=sys.stderr)
+        for entry in broken:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"check_md_links: {checked} relative links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()))

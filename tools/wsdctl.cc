@@ -10,13 +10,17 @@
 //   value                 §4 demand/value-add study for one traffic site
 //   bootstrap             set-expansion simulation on one graph
 //   gen-cache             render a synthetic web into an on-disk page cache
+//   metrics               run a command (or a scan), dump the metrics registry
 //
 // Common flags: --domain=<name> --attr=<phone|homepage|isbn|reviews>
 //               --entities=N --seed=N --scale=F --out=<file.tsv>
+//               --metrics_out=<file.json>
 // Every command prints a human table to stdout; --out additionally dumps
-// machine-readable TSV.
+// machine-readable TSV and --metrics_out dumps the metrics registry as
+// JSON after the run (see docs/METRICS.md).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -31,6 +35,7 @@
 #include "corpus/web_cache.h"
 #include "graph/diameter.h"
 #include "util/csv.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace wsd {
@@ -636,6 +641,43 @@ int CmdPaper(const Args& args) {
   return 0;
 }
 
+int RunCommand(const std::string& command, const Args& args);
+
+// Observability entry point: `wsdctl metrics [command ...]` runs the
+// nested command (any other subcommand, flags shared) — or, with no
+// nested command, a default cache scan honoring --domain/--attr — then
+// prints the populated metrics registry to stdout. --format=json selects
+// the JSON exporter over the Prometheus text default.
+int CmdMetrics(const Args& args) {
+  int rc = 0;
+  if (args.positional().size() > 1 && args.positional()[1] != "metrics") {
+    rc = RunCommand(args.positional()[1], args);
+  } else {
+    const auto domain = ParseDomain(args.GetOr("domain", "restaurants"));
+    const auto attr = ParseAttribute(args.GetOr("attr", "phone"));
+    if (!domain || !attr) {
+      std::cerr << "unknown --domain or --attr\n";
+      return 2;
+    }
+    Study study(OptionsFrom(args));
+    auto scan = study.RunScan(*domain, *attr);
+    if (!scan.ok()) {
+      std::cerr << scan.status() << "\n";
+      return 1;
+    }
+    std::cout << "scanned " << scan->stats.pages_scanned << " pages across "
+              << scan->stats.hosts_scanned << " hosts in "
+              << FormatF(scan->stats.wall_seconds, 2) << "s\n\n";
+  }
+  auto& registry = MetricsRegistry::Global();
+  if (args.GetOr("format", "prom") == "json") {
+    std::cout << registry.ToJson() << "\n";
+  } else {
+    std::cout << registry.ToPrometheus();
+  }
+  return rc;
+}
+
 int CmdHelp() {
   std::cout <<
       "wsdctl — driver for the webspread study\n\n"
@@ -651,17 +693,17 @@ int CmdHelp() {
       "  bootstrap   set-expansion trials   --domain --attr [--seeds N]\n"
       "  gen-cache   persist a synthetic web --domain --attr --out f.bin\n"
       "  scan-cache  scan a persisted cache  --domain --attr --in f.bin\n"
-      "  paper       run EVERY experiment, TSVs into --outdir\n\n"
+      "  paper       run EVERY experiment, TSVs into --outdir\n"
+      "  metrics     run a command (default: a scan), then dump the\n"
+      "              metrics registry        [command ...] [--format json]\n\n"
       "common flags: --entities=N --seed=N --scale=F --threads=N\n"
+      "              --metrics_out=f.json  (dump registry after any run)\n"
       "domains: books restaurants automotive banks libraries schools "
       "hotels retail home\n";
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  const Args args(argc, argv);
-  if (args.positional().empty()) return CmdHelp();
-  const std::string& command = args.positional()[0];
+int RunCommand(const std::string& command, const Args& args) {
   if (command == "domains") return CmdDomains(args);
   if (command == "spread") return CmdSpread(args);
   if (command == "reviews") return CmdReviews(args);
@@ -673,9 +715,29 @@ int Main(int argc, char** argv) {
   if (command == "gen-cache") return CmdGenCache(args);
   if (command == "scan-cache") return CmdScanCache(args);
   if (command == "paper") return CmdPaper(args);
+  if (command == "metrics") return CmdMetrics(args);
   if (command == "help" || command == "--help") return CmdHelp();
   std::cerr << "unknown command '" << command << "'; see wsdctl help\n";
   return 2;
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.positional().empty()) return CmdHelp();
+  const int rc = RunCommand(args.positional()[0], args);
+  // --metrics_out works for every command: after the run, persist the
+  // registry as machine-readable JSON.
+  if (auto out = args.Get("metrics_out")) {
+    std::ofstream file(*out);
+    file << MetricsRegistry::Global().ToJson() << "\n";
+    if (file.good()) {
+      std::cout << "wrote metrics to " << *out << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << *out << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
