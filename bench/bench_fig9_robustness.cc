@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_fig9_robustness");
   using namespace wsd;
-  const StudyOptions options = bench::Options();
+  const StudyOptions options = bench::Options(argc, argv);
   bench::PrintHeader("Figure 9: Robustness after removing top-k sites",
                      "Fig 9, §5.3", options);
 

@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   const wsd::bench::MetricsExport metrics_export(argc, argv, "bench_table2_graph_metrics");
   using namespace wsd;
-  const StudyOptions options = bench::Options();
+  const StudyOptions options = bench::Options(argc, argv);
   bench::PrintHeader("Table 2: Entity-Site Graphs and Metrics",
                      "Table 2, §5", options);
 

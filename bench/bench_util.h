@@ -17,7 +17,30 @@ namespace bench {
 
 /// Study options shared by every figure bench: defaults plus the
 /// WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS environment knobs.
-inline StudyOptions Options() { return StudyOptions::FromEnv(); }
+/// Pass argc/argv to additionally honor the --entities / --seed /
+/// --scale / --threads command-line flags (flags win over env vars).
+inline StudyOptions Options(int argc = 0, char* const* argv = nullptr) {
+  StudyOptions options = StudyOptions::FromEnv();
+  if (argv == nullptr) return options;
+  const FlagParser flags(argc, argv);
+  if (auto v = flags.Get("entities")) {
+    if (auto n = ParseUint64(*v)) {
+      options.num_entities = static_cast<uint32_t>(*n);
+    }
+  }
+  if (auto v = flags.Get("seed")) {
+    if (auto n = ParseUint64(*v)) options.seed = *n;
+  }
+  if (auto v = flags.Get("scale")) {
+    if (auto f = ParseDouble(*v); f && *f > 0) options.scale = *f;
+  }
+  if (auto v = flags.Get("threads")) {
+    if (auto n = ParseUint64(*v)) {
+      options.threads = static_cast<uint32_t>(*n);
+    }
+  }
+  return options;
+}
 
 /// Prints the standard run banner so bench output is self-describing.
 inline void PrintHeader(const std::string& experiment,

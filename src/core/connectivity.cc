@@ -7,7 +7,8 @@ namespace wsd {
 
 StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
                                               const HostEntityTable& table,
-                                              uint32_t num_entities) {
+                                              uint32_t num_entities,
+                                              ThreadPool* pool) {
   if (num_entities == 0) {
     return Status::InvalidArgument("num_entities must be positive");
   }
@@ -25,12 +26,12 @@ StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
   row.num_sites = graph.num_sites();
   row.num_edges = graph.num_edges();
 
-  const ComponentSummary comps = AnalyzeComponents(graph);
+  const ComponentSummary comps = AnalyzeComponents(graph, pool);
   row.num_components = comps.num_components;
   row.largest_component_entity_pct =
       comps.largest_component_entity_fraction * 100.0;
 
-  const DiameterResult diameter = ExactDiameter(graph);
+  const DiameterResult diameter = ExactDiameter(graph, 20000, pool);
   row.diameter = diameter.diameter;
   row.diameter_bfs_runs = diameter.bfs_runs;
   return row;

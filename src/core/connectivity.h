@@ -9,6 +9,7 @@
 #include "graph/bipartite.h"
 #include "graph/robustness.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace wsd {
 
@@ -28,9 +29,12 @@ struct GraphMetricsRow {
 
 /// Computes the full Table 2 row: builds the bipartite graph, analyzes
 /// components and runs the exact-diameter algorithm on the largest one.
+/// `pool` (optional) parallelizes the component labeling and the iFUB
+/// eccentricity loop; results are identical at any thread count.
 StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
                                               const HostEntityTable& table,
-                                              uint32_t num_entities);
+                                              uint32_t num_entities,
+                                              ThreadPool* pool = nullptr);
 
 /// The Fig 9 sweep on the same graph (fractions of covered entities in
 /// the largest component after removing the top k = 0..max_removed

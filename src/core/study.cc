@@ -135,7 +135,7 @@ StatusOr<GraphMetricsRow> Study::RunGraphMetrics(Domain domain,
   auto scan = RunScan(domain, attr);
   if (!scan.ok()) return scan.status();
   return ComputeGraphMetrics(domain, attr, scan->table,
-                             options_.ScaledEntities());
+                             options_.ScaledEntities(), pool_.get());
 }
 
 StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(

@@ -33,12 +33,18 @@ bool ParsePhoneAt(std::string_view text, size_t i, std::string* digits,
   size_t j = i;
   digits->clear();
 
-  // Optional country code: "+1" or bare "1", followed by a separator.
+  // Optional country code: "+1" or bare "1", followed by a separator —
+  // or, for "+1", directly by the open paren of an area code
+  // ("+1(415) 555-0134").
   if (j < text.size() && text[j] == '+') {
     if (j + 1 >= text.size() || text[j + 1] != '1') return false;
     j += 2;
-    if (j >= text.size() || !IsSep(text[j])) return false;
-    ++j;
+    if (j >= text.size()) return false;
+    if (IsSep(text[j])) {
+      ++j;
+    } else if (text[j] != '(') {
+      return false;
+    }
   } else if (j < text.size() && text[j] == '1' && j + 1 < text.size() &&
              IsSep(text[j + 1]) && j + 2 < text.size() &&
              IsDigit(text[j + 2])) {

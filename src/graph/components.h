@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/bipartite.h"
+#include "util/thread_pool.h"
 
 namespace wsd {
 
@@ -21,8 +22,12 @@ struct ComponentSummary {
   uint32_t largest_component_sites = 0;
 };
 
-/// Computes components with a union-find pass over the edges.
-ComponentSummary AnalyzeComponents(const BipartiteGraph& graph);
+/// Computes components with a union-find pass over the edges. With a
+/// `pool` of two or more workers the edge scan runs as per-shard
+/// union-finds merged at the end; results are identical to the serial
+/// path at any thread count.
+ComponentSummary AnalyzeComponents(const BipartiteGraph& graph,
+                                   ThreadPool* pool = nullptr);
 
 /// Per-node component labels (kNoComponent for zero-degree nodes) plus the
 /// label of the largest component by entity count. Used by the diameter
@@ -34,7 +39,8 @@ struct ComponentLabels {
   uint32_t largest_label = kNoComponent;
 };
 
-ComponentLabels LabelComponents(const BipartiteGraph& graph);
+ComponentLabels LabelComponents(const BipartiteGraph& graph,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace wsd
 

@@ -71,19 +71,39 @@ uint32_t PickStart(const BipartiteGraph& g, const ComponentLabels& labels) {
   return best;
 }
 
+// Eccentricities of a whole fringe batch, one BFS per pool task with a
+// per-slot scratch (each slot is owned by exactly one task per batch, so
+// workers reuse warm buffers without sharing them).
+void BatchEccentricities(const BipartiteGraph& graph, ThreadPool& pool,
+                         const uint32_t* nodes, size_t width,
+                         std::vector<BfsScratch>& scratch,
+                         std::vector<uint32_t>& ecc_out) {
+  static Counter& batches =
+      MetricsRegistry::Global().GetCounter("wsd.graph.bfs_batches");
+  for (size_t t = 0; t < width; ++t) {
+    pool.Submit([&graph, &scratch, &ecc_out, nodes, t] {
+      ecc_out[t] = Bfs(graph, nodes[t], scratch[t]).first;
+    });
+  }
+  pool.Wait();
+  batches.Increment();
+}
+
 }  // namespace
 
 uint32_t Eccentricity(const BipartiteGraph& graph, uint32_t node) {
-  BfsScratch scratch;
+  // thread_local so repeated calls (bootstrap trials, tests) reuse the
+  // buffers instead of reallocating two vectors per call.
+  static thread_local BfsScratch scratch;
   return Bfs(graph, node, scratch).first;
 }
 
 namespace {
 
 DiameterResult ExactDiameterImpl(const BipartiteGraph& graph,
-                                 uint32_t max_bfs) {
+                                 uint32_t max_bfs, ThreadPool* pool) {
   DiameterResult result;
-  const ComponentLabels labels = LabelComponents(graph);
+  const ComponentLabels labels = LabelComponents(graph, pool);
   if (labels.largest_label == ComponentLabels::kNoComponent) {
     return result;  // empty graph
   }
@@ -150,20 +170,46 @@ DiameterResult ExactDiameterImpl(const BipartiteGraph& graph,
     });
   }
 
-  BfsScratch ecc_scratch;
+  // Eccentricity loop: with a pool, each fringe level is dispatched in
+  // batches of one BFS per worker. Batches walk the level in the same
+  // order as the serial loop and `lower` is folded as a max, so the
+  // returned diameter is identical at any thread count (eccentricities
+  // never exceed `upper`, hence a full batch can only reach the same
+  // lower == upper fixpoint the serial early exit does). Only bfs_runs
+  // may differ: a batch is not cut short mid-way.
+  const size_t batch_width =
+      pool != nullptr && pool->num_threads() > 1 ? pool->num_threads() : 1;
+  std::vector<BfsScratch> batch_scratch(batch_width);
+  std::vector<uint32_t> batch_ecc(batch_width);
+  if (batch_width > 1) {
+    MetricsRegistry::Global()
+        .GetGauge("wsd.graph.threads")
+        .Set(static_cast<double>(batch_width));
+  }
   for (uint32_t i = depth; i >= 1 && lower < upper; --i) {
     // Process all of level i; only lower == upper is a safe early exit
     // inside the level (other level-i nodes may reach ecc up to 2*i).
-    for (uint32_t v : levels[i]) {
+    const std::vector<uint32_t>& level = levels[i];
+    for (size_t pos = 0; pos < level.size() && lower < upper;) {
       if (result.bfs_runs >= max_bfs) {
         result.diameter = lower;
         result.exact = false;
         return result;
       }
-      const uint32_t ecc = Bfs(graph, v, ecc_scratch).first;
-      ++result.bfs_runs;
-      lower = std::max(lower, ecc);
-      if (lower == upper) break;
+      const size_t width =
+          std::min({batch_width, level.size() - pos,
+                    static_cast<size_t>(max_bfs - result.bfs_runs)});
+      if (width == 1) {
+        batch_ecc[0] = Bfs(graph, level[pos], batch_scratch[0]).first;
+      } else {
+        BatchEccentricities(graph, *pool, level.data() + pos, width,
+                            batch_scratch, batch_ecc);
+      }
+      result.bfs_runs += static_cast<uint32_t>(width);
+      for (size_t t = 0; t < width; ++t) {
+        lower = std::max(lower, batch_ecc[t]);
+      }
+      pos += width;
     }
     // iFUB invariant: every node at level < i has eccentricity
     // <= 2*(i-1), so once the lower bound reaches that, deeper levels
@@ -177,10 +223,11 @@ DiameterResult ExactDiameterImpl(const BipartiteGraph& graph,
 
 }  // namespace
 
-DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs) {
+DiameterResult ExactDiameter(const BipartiteGraph& graph, uint32_t max_bfs,
+                             ThreadPool* pool) {
   const ScopedTimer phase_timer(
       MetricsRegistry::Global().GetHistogram("wsd.graph.diameter_seconds"));
-  const DiameterResult result = ExactDiameterImpl(graph, max_bfs);
+  const DiameterResult result = ExactDiameterImpl(graph, max_bfs, pool);
   MetricsRegistry::Global()
       .GetCounter("wsd.graph.bfs_runs")
       .Increment(result.bfs_runs);

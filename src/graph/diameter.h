@@ -5,6 +5,7 @@
 
 #include "graph/bipartite.h"
 #include "graph/components.h"
+#include "util/thread_pool.h"
 
 namespace wsd {
 
@@ -28,8 +29,16 @@ struct DiameterResult {
 /// this needs orders of magnitude fewer BFS runs than the cubic all-pairs
 /// approach the paper sidesteps the same way ("can be computed more
 /// efficiently when the diameter of the graph is small", §5.2).
+///
+/// With a `pool` of two or more workers the eccentricity loop dispatches
+/// each fringe level in batches of one BFS per worker (per-slot scratch
+/// reuse, no shared state). The reported diameter, exactness and
+/// component size are identical to the serial path at any thread count;
+/// only `bfs_runs` may exceed the serial figure by at most one batch
+/// when the bounds meet mid-level.
 DiameterResult ExactDiameter(const BipartiteGraph& graph,
-                             uint32_t max_bfs = 20000);
+                             uint32_t max_bfs = 20000,
+                             ThreadPool* pool = nullptr);
 
 /// Reference implementation: one BFS per node of the largest component.
 /// O(V*E); only for tests and the ablation bench.

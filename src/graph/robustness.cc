@@ -1,12 +1,29 @@
 #include "graph/robustness.h"
 
+#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "graph/union_find.h"
 #include "util/metrics.h"
 
 namespace wsd {
+
+namespace {
+
+RobustnessPoint MakePoint(const BipartiteGraph& graph, uint32_t k,
+                          uint64_t num_components, uint32_t largest) {
+  RobustnessPoint point;
+  point.removed_sites = k;
+  point.num_components = static_cast<uint32_t>(num_components);
+  if (graph.num_covered_entities() > 0) {
+    point.largest_component_entity_fraction =
+        static_cast<double>(largest) /
+        static_cast<double>(graph.num_covered_entities());
+  }
+  return point;
+}
+
+}  // namespace
 
 std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
                                              uint32_t max_removed) {
@@ -14,58 +31,98 @@ std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
       MetricsRegistry::Global().GetHistogram("wsd.graph.robustness_seconds"));
   const uint32_t n_ent = graph.num_entities();
   const std::vector<uint32_t> order = graph.SitesByDegreeDesc();
-  const uint32_t limit =
-      std::min<uint32_t>(max_removed, graph.num_sites());
+  const uint32_t limit = std::min<uint32_t>(max_removed, graph.num_sites());
+
+  // Reverse deletion: start from the graph with all `limit` top sites
+  // gone and re-attach them from least-removed to most, emitting points
+  // for k = limit down to 0. Union-find only ever merges, so the whole
+  // sweep is one O(E·α) pass.
+  UnionFind uf(graph.num_nodes());
+  // Entities per component, valid at set representatives. Active nodes
+  // (covered entities + surviving sites) each start as a singleton
+  // component; every successful union merges two of them.
+  std::vector<uint32_t> entities_at(graph.num_nodes(), 0);
+  for (uint32_t e = 0; e < n_ent; ++e) {
+    if (graph.EntityDegree(e) > 0) entities_at[e] = 1;
+  }
+  uint64_t num_components =
+      static_cast<uint64_t>(graph.num_covered_entities()) +
+      (graph.num_sites() - limit);
+  uint32_t largest = graph.num_covered_entities() > 0 ? 1 : 0;
+
+  // Re-attaches `site`: unions it with its entities, maintaining the
+  // component count and the running largest-component entity count
+  // (exact, because components only ever grow).
+  auto attach = [&](uint32_t site) {
+    const uint32_t site_node = n_ent + site;
+    for (uint32_t e : graph.EntitiesOf(site)) {
+      const uint32_t ra = uf.Find(e);
+      const uint32_t rb = uf.Find(site_node);
+      if (ra == rb) continue;
+      const uint32_t merged = entities_at[ra] + entities_at[rb];
+      uf.Union(ra, rb);
+      entities_at[uf.Find(ra)] = merged;
+      largest = std::max(largest, merged);
+      --num_components;
+    }
+  };
+
+  std::vector<bool> removed(graph.num_sites(), false);
+  for (uint32_t k = 0; k < limit; ++k) removed[order[k]] = true;
+  for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+    if (!removed[s]) attach(s);
+  }
 
   std::vector<RobustnessPoint> out;
   out.reserve(limit + 1);
-  std::unordered_set<uint32_t> removed;
+  out.push_back(MakePoint(graph, limit, num_components, largest));
+  for (uint32_t k = limit; k > 0; --k) {
+    ++num_components;  // the re-added site starts as its own component
+    attach(order[k - 1]);
+    out.push_back(MakePoint(graph, k - 1, num_components, largest));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RobustnessPoint> RobustnessSweepNaive(const BipartiteGraph& graph,
+                                                  uint32_t max_removed) {
+  const uint32_t n_ent = graph.num_entities();
+  const std::vector<uint32_t> order = graph.SitesByDegreeDesc();
+  const uint32_t limit = std::min<uint32_t>(max_removed, graph.num_sites());
+
+  std::vector<RobustnessPoint> out;
+  out.reserve(limit + 1);
+  std::vector<bool> removed(graph.num_sites(), false);
   for (uint32_t k = 0; k <= limit; ++k) {
-    if (k > 0) removed.insert(order[k - 1]);
+    if (k > 0) removed[order[k - 1]] = true;
 
     UnionFind uf(graph.num_nodes());
     for (uint32_t e = 0; e < n_ent; ++e) {
       for (uint32_t s : graph.SitesOf(e)) {
-        if (removed.contains(s)) continue;
+        if (removed[s]) continue;
         uf.Union(e, n_ent + s);
       }
     }
 
+    // One root per component over the active nodes: covered entities
+    // (isolated ones stay their own root) and surviving sites (so
+    // zero-degree survivors count as singleton components too).
     std::unordered_map<uint32_t, uint32_t> entities_per_root;
-    uint32_t isolated_entities = 0;  // covered entities with no surviving site
     for (uint32_t e = 0; e < n_ent; ++e) {
       if (graph.EntityDegree(e) == 0) continue;
-      bool has_surviving_site = false;
-      for (uint32_t s : graph.SitesOf(e)) {
-        if (!removed.contains(s)) {
-          has_surviving_site = true;
-          break;
-        }
-      }
-      if (!has_surviving_site) {
-        ++isolated_entities;
-        continue;
-      }
       ++entities_per_root[uf.Find(e)];
     }
-    // Count surviving sites' singleton components too.
-    std::unordered_set<uint32_t> roots;
-    for (const auto& [root, count] : entities_per_root) roots.insert(root);
+    for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+      if (removed[s]) continue;
+      entities_per_root.try_emplace(uf.Find(n_ent + s), 0);
+    }
 
-    RobustnessPoint point;
-    point.removed_sites = k;
-    point.num_components =
-        static_cast<uint32_t>(roots.size()) + isolated_entities;
     uint32_t largest = 0;
     for (const auto& [root, count] : entities_per_root) {
       largest = std::max(largest, count);
     }
-    if (graph.num_covered_entities() > 0) {
-      point.largest_component_entity_fraction =
-          static_cast<double>(largest) /
-          static_cast<double>(graph.num_covered_entities());
-    }
-    out.push_back(point);
+    out.push_back(MakePoint(graph, k, entities_per_root.size(), largest));
   }
   return out;
 }

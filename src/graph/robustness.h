@@ -12,6 +12,13 @@ namespace wsd {
 /// the `removed_sites` largest sites.
 struct RobustnessPoint {
   uint32_t removed_sites = 0;
+  /// Connected components of the remaining graph, counted over every
+  /// *active* node: covered entities (degree >= 1 originally) and
+  /// surviving sites. Entities whose every site was removed and
+  /// surviving zero-degree sites each count as singleton components.
+  /// Note this differs from ComponentSummary::num_components (which
+  /// excludes zero-degree sites) precisely when the host table carries
+  /// sites with no matched entities.
   uint32_t num_components = 0;
   /// Fraction of *covered* entities (degree >= 1 in the original graph)
   /// that remain in the largest component. Entities whose every site was
@@ -21,9 +28,18 @@ struct RobustnessPoint {
 
 /// Re-examines connectivity "after removing from them the k largest web
 /// sites (sorted by the number of entity mentions)" (§5.3) for k = 0 ..
-/// max_removed. One union-find pass per k.
+/// max_removed. Implemented as reverse deletion: the sweep starts from
+/// the fully-removed graph and adds sites back from least-important to
+/// most, so the whole curve costs a single O(E·α) union-find pass
+/// instead of one rebuild per k.
 std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
                                              uint32_t max_removed);
+
+/// Reference implementation: rebuilds a union-find from scratch at every
+/// k, O(k·E). Only for tests (randomized cross-checks against the
+/// incremental sweep) and the ablation bench.
+std::vector<RobustnessPoint> RobustnessSweepNaive(const BipartiteGraph& graph,
+                                                  uint32_t max_removed);
 
 }  // namespace wsd
 

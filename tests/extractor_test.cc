@@ -55,6 +55,30 @@ TEST(PhoneExtractorTest, CountryCodeVariants) {
   EXPECT_EQ(non_nanp_prefix[0].digits, "4155550134");
 }
 
+TEST(PhoneExtractorTest, CountryCodeDirectlyBeforeParen) {
+  // "+1(415) 555-0134" — no separator between the country code and the
+  // open paren — is a common display form and must extract.
+  const auto tight = ExtractPhones("call +1(415) 555-0134 today");
+  ASSERT_EQ(tight.size(), 1u);
+  EXPECT_EQ(tight[0].digits, "4155550134");
+  EXPECT_EQ(tight[0].offset, 5u);
+  // The separated forms keep working.
+  const auto spaced = ExtractPhones("+1 (415) 555-0134");
+  ASSERT_EQ(spaced.size(), 1u);
+  EXPECT_EQ(spaced[0].digits, "4155550134");
+  const auto dashed = ExtractPhones("+1-(415) 555-0134");
+  ASSERT_EQ(dashed.size(), 1u);
+  EXPECT_EQ(dashed[0].digits, "4155550134");
+  // "+1" directly followed by a digit is still part of a longer run,
+  // not a NANP number with a country code.
+  EXPECT_TRUE(ExtractPhones("+14155550134x").empty());
+  // An unclosed paren after the country code fails the paren form; the
+  // scan then recovers the trailing space-separated number on its own.
+  const auto unclosed = ExtractPhones("+1(415 555-0134");
+  ASSERT_EQ(unclosed.size(), 1u);
+  EXPECT_EQ(unclosed[0].offset, 3u);
+}
+
 TEST(PhoneExtractorTest, OffsetsPointAtMatchStart) {
   const std::string text = "xx (415) 555-0134";
   const auto matches = ExtractPhones(text);

@@ -6,6 +6,7 @@
 #include "graph/robustness.h"
 #include "graph/union_find.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wsd {
 namespace {
@@ -180,6 +181,135 @@ TEST(RobustnessTest, SweepIsMonotoneNonIncreasingOnRealisticGraphs) {
   for (size_t k = 1; k < sweep.size(); ++k) {
     EXPECT_LE(sweep[k].largest_component_entity_fraction,
               sweep[k - 1].largest_component_entity_fraction + 1e-12);
+  }
+}
+
+// Regression for the component-accounting bug: surviving sites that end
+// up with no counted entity neighbors (zero-degree sites) must count as
+// singleton components instead of silently vanishing.
+TEST(RobustnessTest, CountsSurvivingSingletonSiteComponents) {
+  // site0 covers e0,e1; site1 matched nothing (zero-degree).
+  const auto table = MakeTable({{0, 1}, {}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 3);
+  const auto sweep = RobustnessSweep(graph, 1);
+  ASSERT_EQ(sweep.size(), 2u);
+  // k=0: {e0, e1, s0} plus the singleton {s1}.
+  EXPECT_EQ(sweep[0].num_components, 2u);
+  EXPECT_DOUBLE_EQ(sweep[0].largest_component_entity_fraction, 1.0);
+  // k=1 (s0 removed): e0 and e1 are isolated singletons, plus {s1}.
+  EXPECT_EQ(sweep[1].num_components, 3u);
+  EXPECT_DOUBLE_EQ(sweep[1].largest_component_entity_fraction, 0.5);
+}
+
+TEST(RobustnessTest, HubComponentCountsMatchHandComputation) {
+  // Hub site covers everything; satellites cover one entity each.
+  const auto table = MakeTable({{0, 1, 2, 3}, {0}, {1}});
+  const auto graph = BipartiteGraph::FromHostTable(table, 4);
+  const auto sweep = RobustnessSweep(graph, 1);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].num_components, 1u);
+  // After removing the hub: {e0,s1}, {e1,s2}, {e2}, {e3}.
+  EXPECT_EQ(sweep[1].num_components, 4u);
+}
+
+// Property: the incremental reverse-deletion sweep matches the naive
+// per-k recompute exactly, on random graphs that include empty sites
+// and uncovered entities.
+class RobustnessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessPropertyTest, IncrementalMatchesNaive) {
+  Rng rng(GetParam());
+  const uint32_t sites = 5 + rng.Index(40);
+  const uint32_t entities = 10 + rng.Index(80);
+  std::vector<std::vector<EntityId>> table(sites);
+  const uint32_t edges = rng.Index(3 * entities);
+  for (uint32_t i = 0; i < edges; ++i) {
+    table[rng.Index(sites)].push_back(
+        static_cast<EntityId>(rng.Index(entities)));
+  }
+  for (auto& v : table) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  const auto graph =
+      BipartiteGraph::FromHostTable(MakeTable(table), entities);
+  const uint32_t max_removed = rng.Index(sites + 3);
+  const auto fast = RobustnessSweep(graph, max_removed);
+  const auto naive = RobustnessSweepNaive(graph, max_removed);
+  ASSERT_EQ(fast.size(), naive.size()) << "seed " << GetParam();
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].removed_sites, naive[i].removed_sites);
+    EXPECT_EQ(fast[i].num_components, naive[i].num_components)
+        << "seed " << GetParam() << " k=" << i;
+    EXPECT_DOUBLE_EQ(fast[i].largest_component_entity_fraction,
+                     naive[i].largest_component_entity_fraction)
+        << "seed " << GetParam() << " k=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, RobustnessPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// Builds the random graph used by the serial-vs-parallel equivalence
+// tests below.
+BipartiteGraph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t sites = 20 + rng.Index(30);
+  const uint32_t entities = 30 + rng.Index(50);
+  std::vector<std::vector<EntityId>> table(sites);
+  const uint32_t edges = entities + rng.Index(2 * entities);
+  for (uint32_t i = 0; i < edges; ++i) {
+    table[rng.Index(sites)].push_back(
+        static_cast<EntityId>(rng.Index(entities)));
+  }
+  for (auto& v : table) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return BipartiteGraph::FromHostTable(MakeTable(table), entities);
+}
+
+// Parallel component labeling must be bit-identical to the serial path
+// at every thread count.
+TEST(ComponentsTest, ParallelMatchesSerial) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto graph = RandomGraph(seed);
+    const auto serial_summary = AnalyzeComponents(graph);
+    const auto serial_labels = LabelComponents(graph);
+    for (size_t threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const auto summary = AnalyzeComponents(graph, &pool);
+      EXPECT_EQ(summary.num_components, serial_summary.num_components)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(summary.largest_component_entities,
+                serial_summary.largest_component_entities);
+      EXPECT_EQ(summary.largest_component_sites,
+                serial_summary.largest_component_sites);
+      EXPECT_DOUBLE_EQ(summary.largest_component_entity_fraction,
+                       serial_summary.largest_component_entity_fraction);
+      const auto labels = LabelComponents(graph, &pool);
+      EXPECT_EQ(labels.num_components, serial_labels.num_components);
+      EXPECT_EQ(labels.largest_label, serial_labels.largest_label);
+      EXPECT_EQ(labels.label, serial_labels.label)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Batch-parallel iFUB must report the same diameter, exactness and
+// component size as the serial path at every thread count.
+TEST(DiameterTest, ParallelMatchesSerial) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto graph = RandomGraph(seed);
+    const auto serial = ExactDiameter(graph);
+    for (size_t threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const auto parallel = ExactDiameter(graph, 20000, &pool);
+      EXPECT_EQ(parallel.diameter, serial.diameter)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.exact, serial.exact);
+      EXPECT_EQ(parallel.component_nodes, serial.component_nodes);
+    }
   }
 }
 

@@ -347,7 +347,7 @@ int CmdBootstrap(const Args& args) {
   }
   const auto graph = BipartiteGraph::FromHostTable(
       scan->table, options.ScaledEntities());
-  const auto diameter = ExactDiameter(graph);
+  const auto diameter = ExactDiameter(graph, 20000, &study.pool());
   Rng rng(options.seed ^ 0xb0075ULL);
   uint32_t seed_count = 1;
   if (auto v = args.Get("seeds")) {
