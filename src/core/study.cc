@@ -42,6 +42,7 @@ StudyOptions StudyOptions::FromEnv() {
   options.seed = EnvUint("WSD_SEED", options.seed);
   options.threads =
       static_cast<uint32_t>(EnvUint("WSD_THREADS", options.threads));
+  options.legacy_scan = EnvUint("WSD_LEGACY_SCAN", 0) != 0;
   if (options.scale <= 0.0) {
     WSD_LOG(kWarning) << "WSD_SCALE must be positive; using 1.0";
     options.scale = 1.0;
@@ -86,7 +87,7 @@ StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
     detector = &*detector_;
   }
   const ScanPipeline pipeline(*web, *pool_, detector);
-  return pipeline.Run();
+  return options_.legacy_scan ? pipeline.RunLegacy() : pipeline.Run();
 }
 
 StatusOr<Study::SpreadResult> Study::RunSpread(Domain domain, Attribute attr,

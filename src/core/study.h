@@ -31,9 +31,12 @@ struct StudyOptions {
   /// Multiplier on num_entities, num_sites and traffic populations. Set
   /// WSD_SCALE to raise (or shrink) every experiment uniformly.
   double scale = 1.0;
+  /// Run scans through ScanPipeline::RunLegacy (the pre-kernel path).
+  /// Escape hatch / ablation switch; set WSD_LEGACY_SCAN=1.
+  bool legacy_scan = false;
 
-  /// Reads WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS from the
-  /// environment on top of the defaults.
+  /// Reads WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS /
+  /// WSD_LEGACY_SCAN from the environment on top of the defaults.
   static StudyOptions FromEnv();
 
   /// num_entities with scale applied.

@@ -25,7 +25,9 @@ enum class PageLayout : int {
   kNumLayouts = 3,
 };
 
-// Renders the identifying attribute part of one mention.
+// Renders the identifying attribute part of one mention. Formatted
+// phones (max 15 chars) fit small-string capacity; ISBNs render through
+// FormatIsbnInto — so no heap allocation per mention.
 void RenderAttribute(const Entity& e, Attribute attr, Rng& rng,
                      std::string* out) {
   switch (attr) {
@@ -47,7 +49,7 @@ void RenderAttribute(const Entity& e, Attribute attr, Rng& rng,
       const auto style = static_cast<IsbnStyle>(
           rng.Uniform(static_cast<uint64_t>(IsbnStyle::kNumStyles)));
       out->append(" &middot; ISBN ");
-      out->append(FormatIsbn(e.isbn13, style));
+      FormatIsbnInto(e.isbn13, style, out);
       break;
     }
     case Attribute::kNumAttributes:
@@ -62,26 +64,26 @@ void RenderMention(const Entity& e, Attribute attr, PageLayout layout,
   switch (layout) {
     case PageLayout::kDivBlocks:
       out->append("<div class=\"listing\"><h3>");
-      out->append(html::EscapeHtml(e.name));
+      html::EscapeHtmlInto(e.name, out);
       out->append("</h3><p class=\"meta\">");
-      out->append(html::EscapeHtml(e.city));
+      html::EscapeHtmlInto(e.city, out);
       RenderAttribute(e, attr, rng, out);
       out->append("</p></div>\n");
       break;
     case PageLayout::kTableRows:
       out->append("<tr><td>");
-      out->append(html::EscapeHtml(e.name));
+      html::EscapeHtmlInto(e.name, out);
       out->append("</td><td>");
-      out->append(html::EscapeHtml(e.city));
+      html::EscapeHtmlInto(e.city, out);
       out->append("</td><td>");
       RenderAttribute(e, attr, rng, out);
       out->append("</td></tr>\n");
       break;
     case PageLayout::kBulletList:
       out->append("<li><b>");
-      out->append(html::EscapeHtml(e.name));
+      html::EscapeHtmlInto(e.name, out);
       out->append("</b>, ");
-      out->append(html::EscapeHtml(e.city));
+      html::EscapeHtmlInto(e.city, out);
       RenderAttribute(e, attr, rng, out);
       out->append("</li>\n");
       break;
@@ -112,19 +114,20 @@ void CloseLayout(PageLayout layout, std::string* out) {
 void RenderDistractor(Attribute attr, Rng& rng, std::string* out) {
   switch (rng.Uniform(3)) {
     case 0:
-      out->append(StrFormat("<p>Order confirmation #%llu</p>\n",
-                            (unsigned long long)rng.Uniform(10000000000ULL)));
+      AppendFormat(out, "<p>Order confirmation #%llu</p>\n",
+                   (unsigned long long)rng.Uniform(10000000000ULL));
       break;
     case 1:
       if (attr == Attribute::kIsbn) {
         // A 13-digit number with no ISBN context/checksum.
-        out->append(StrFormat("<p>Tracking id %llu</p>\n",
-                              (unsigned long long)(1000000000000ULL +
-                                                   rng.Uniform(999999999ULL))));
+        AppendFormat(out, "<p>Tracking id %llu</p>\n",
+                     (unsigned long long)(1000000000000ULL +
+                                          rng.Uniform(999999999ULL)));
       } else {
         // A valid-looking phone that is not in the catalog w.h.p.
-        out->append("<p>Fax: " +
-                    RandomPhone(rng).Format(PhoneFormat::kDashed) + "</p>\n");
+        out->append("<p>Fax: ");
+        out->append(RandomPhone(rng).Format(PhoneFormat::kDashed));
+        out->append("</p>\n");
       }
       break;
     default:
@@ -137,8 +140,8 @@ void RenderDistractor(Attribute attr, Rng& rng, std::string* out) {
 void RenderPageHead(const std::string& host, uint32_t page_index,
                     std::string* out) {
   out->append("<!DOCTYPE html>\n<html><head><title>");
-  out->append(html::EscapeHtml(host));
-  out->append(StrFormat(" &ndash; page %u</title>", page_index));
+  html::EscapeHtmlInto(host, out);
+  AppendFormat(out, " &ndash; page %u</title>", page_index);
   out->append("<meta charset=\"utf-8\"></head>\n<body>\n");
   out->append("<div class=\"nav\"><a href=\"/\">Home</a> | "
               "<a href=\"/about.html\">About</a></div>\n");
@@ -180,6 +183,14 @@ uint32_t PageGenerator::CountPages(SiteId s) const {
 void PageGenerator::GeneratePages(
     SiteId s,
     const std::function<void(const Page&, const PageTruth&)>& sink) const {
+  Page scratch;
+  GeneratePages(s, &scratch,
+                [&](const Page& p, const PageTruth& t) { sink(p, t); });
+}
+
+uint32_t PageGenerator::GeneratePages(
+    SiteId s, Page* scratch,
+    FunctionRef<void(const Page&, const PageTruth&)> sink) const {
   // Per-site deterministic stream: the same (seed, site) renders the same
   // bytes regardless of visit order, which keeps the parallel scan
   // reproducible.
@@ -187,28 +198,37 @@ void PageGenerator::GeneratePages(
   const std::string& host = model_.host(s);
   const SiteMention* begin = model_.site_begin(s);
   const SiteMention* end = model_.site_end(s);
-  if (begin == end) return;
+  if (begin == end) return 0;
 
-  Page page;
+  Page& page = *scratch;
   PageTruth truth;
   truth.site = s;
 
   if (options_.attr == Attribute::kReviews) {
+    // Review/boilerplate prose is generated into a reused buffer and
+    // HTML-escaped from there (the sentence templates still allocate
+    // internally; the reviews corpus is not on the zero-alloc path).
+    std::string text;
     uint32_t page_index = 0;
     for (const SiteMention* m = begin; m != end; ++m) {
       const Entity& e = catalog_.entity(m->entity);
       for (uint16_t rep = 0; rep < m->mention_pages; ++rep) {
         const bool is_review = rng.Bernoulli(options_.review_fraction);
-        page.url = StrFormat("http://%s/biz/%u-%u.html", host.c_str(),
-                             m->entity, rep);
+        page.url.clear();
+        AppendFormat(&page.url, "http://%s/biz/%u-%u.html", host.c_str(),
+                     m->entity, rep);
         page.html.clear();
         RenderPageHead(host, page_index, &page.html);
         RenderMention(e, Attribute::kReviews, PageLayout::kDivBlocks, rng,
                       &page.html);
         page.html.append("<div class=\"content\"><p>");
-        page.html.append(html::EscapeHtml(
-            is_review ? text::GenerateReviewText(rng, e.name)
-                      : text::GenerateBoilerplateText(rng, e.name)));
+        text.clear();
+        if (is_review) {
+          text::GenerateReviewTextInto(rng, e.name, &text);
+        } else {
+          text::GenerateBoilerplateTextInto(rng, e.name, &text);
+        }
+        html::EscapeHtmlInto(text, &page.html);
         page.html.append("</p></div>\n");
         if (rng.Bernoulli(options_.distractor_prob)) {
           RenderDistractor(options_.attr, rng, &page.html);
@@ -219,7 +239,7 @@ void PageGenerator::GeneratePages(
         sink(page, truth);
       }
     }
-    return;
+    return page_index;
   }
 
   const uint32_t mentions = static_cast<uint32_t>(end - begin);
@@ -229,7 +249,9 @@ void PageGenerator::GeneratePages(
   uint32_t page_index = 0;
   for (uint32_t i = 0; i < mentions; i += per_page, ++page_index) {
     const uint32_t count = std::min(per_page, mentions - i);
-    page.url = StrFormat("http://%s/page%u.html", host.c_str(), page_index);
+    page.url.clear();
+    AppendFormat(&page.url, "http://%s/page%u.html", host.c_str(),
+                 page_index);
     page.html.clear();
     RenderPageHead(host, page_index, &page.html);
     const auto layout = static_cast<PageLayout>(
@@ -258,6 +280,7 @@ void PageGenerator::GeneratePages(
     truth.is_review_page = false;
     sink(page, truth);
   }
+  return page_index;
 }
 
 }  // namespace wsd

@@ -8,6 +8,7 @@
 #include "corpus/site_model.h"
 #include "entity/catalog.h"
 #include "entity/domains.h"
+#include "util/function_ref.h"
 
 namespace wsd {
 
@@ -59,6 +60,15 @@ class PageGenerator {
   void GeneratePages(
       SiteId s,
       const std::function<void(const Page&, const PageTruth&)>& sink) const;
+
+  /// Render-into-buffer kernel behind the overload above: every page is
+  /// rendered into *scratch (url/html cleared per page, capacity reused),
+  /// so steady-state rendering performs no heap allocation once the
+  /// buffers reach the site's largest page. Returns the number of pages
+  /// rendered. The sink must not retain references past its return.
+  uint32_t GeneratePages(
+      SiteId s, Page* scratch,
+      FunctionRef<void(const Page&, const PageTruth&)> sink) const;
 
   /// Total pages that would be rendered for site `s` (cheap; no HTML).
   uint32_t CountPages(SiteId s) const;

@@ -38,14 +38,19 @@ StatusOr<SyntheticWeb> SyntheticWeb::Create(const Config& config) {
 void SyntheticWeb::GeneratePages(
     SiteId s,
     const std::function<void(const Page&, const PageTruth&)>& sink) const {
+  Page scratch;
+  GeneratePages(s, &scratch,
+                [&](const Page& p, const PageTruth& t) { sink(p, t); });
+}
+
+uint32_t SyntheticWeb::GeneratePages(
+    SiteId s, Page* scratch,
+    FunctionRef<void(const Page&, const PageTruth&)> sink) const {
   static Counter& pages_rendered =
       MetricsRegistry::Global().GetCounter("wsd.corpus.pages_rendered");
-  uint64_t rendered = 0;  // host-local; merged once per call
-  generator_->GeneratePages(s, [&](const Page& page, const PageTruth& truth) {
-    ++rendered;
-    sink(page, truth);
-  });
+  const uint32_t rendered = generator_->GeneratePages(s, scratch, sink);
   pages_rendered.Increment(rendered);
+  return rendered;
 }
 
 struct WebCacheWriter::Impl {

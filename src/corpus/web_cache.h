@@ -54,6 +54,14 @@ class SyntheticWeb {
       SiteId s,
       const std::function<void(const Page&, const PageTruth&)>& sink) const;
 
+  /// Render-into-buffer variant for the scan kernel: pages are rendered
+  /// into *scratch with its capacity reused across pages and hosts.
+  /// Returns the number of pages rendered (also added to the
+  /// `wsd.corpus.pages_rendered` metric, once per call).
+  uint32_t GeneratePages(
+      SiteId s, Page* scratch,
+      FunctionRef<void(const Page&, const PageTruth&)> sink) const;
+
  private:
   SyntheticWeb() = default;
 

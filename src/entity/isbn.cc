@@ -77,53 +77,67 @@ std::optional<std::string> Isbn13To10(std::string_view isbn13) {
 std::string StripIsbnSeparators(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    if (c != '-' && c != ' ') out.push_back(c);
-  }
+  StripIsbnSeparatorsInto(s, &out);
   return out;
 }
 
+void StripIsbnSeparatorsInto(std::string_view s, std::string* out) {
+  for (char c : s) {
+    if (c != '-' && c != ' ') out->push_back(c);
+  }
+}
+
 std::string FormatIsbn(std::string_view isbn13, IsbnStyle style) {
+  std::string out;
+  FormatIsbnInto(isbn13, style, &out);
+  return out;
+}
+
+void FormatIsbnInto(std::string_view isbn13, IsbnStyle style,
+                    std::string* out) {
   WSD_CHECK(isbn13.size() == 13) << "expected bare ISBN-13";
   switch (style) {
     case IsbnStyle::kBare13:
-      return std::string(isbn13);
-    case IsbnStyle::kHyphenated13: {
+      out->append(isbn13);
+      return;
+    case IsbnStyle::kHyphenated13:
       // 978-G-RRRRRRR-T-C grouping (registration group 1 digit, registrant
       // 7, title 1). Hyphen positions vary in the wild; extraction strips
       // them, so one consistent grouping suffices.
-      std::string out;
-      out += isbn13.substr(0, 3);
-      out += '-';
-      out += isbn13.substr(3, 1);
-      out += '-';
-      out += isbn13.substr(4, 7);
-      out += '-';
-      out += isbn13.substr(11, 1);
-      out += '-';
-      out += isbn13.substr(12, 1);
-      return out;
-    }
+      out->append(isbn13.substr(0, 3));
+      out->push_back('-');
+      out->append(isbn13.substr(3, 1));
+      out->push_back('-');
+      out->append(isbn13.substr(4, 7));
+      out->push_back('-');
+      out->append(isbn13.substr(11, 1));
+      out->push_back('-');
+      out->append(isbn13.substr(12, 1));
+      return;
     case IsbnStyle::kBare10:
     case IsbnStyle::kHyphenated10: {
+      // 10 chars fits small-string capacity, so the optional never heaps.
       auto isbn10 = Isbn13To10(isbn13);
       WSD_CHECK(isbn10.has_value()) << "ISBN has no ISBN-10 form: "
                                     << std::string(isbn13);
-      if (style == IsbnStyle::kBare10) return *isbn10;
-      std::string out;
-      out += isbn10->substr(0, 1);
-      out += '-';
-      out += isbn10->substr(1, 7);
-      out += '-';
-      out += isbn10->substr(8, 1);
-      out += '-';
-      out += isbn10->substr(9, 1);
-      return out;
+      if (style == IsbnStyle::kBare10) {
+        out->append(*isbn10);
+        return;
+      }
+      const std::string_view ten = *isbn10;
+      out->append(ten.substr(0, 1));
+      out->push_back('-');
+      out->append(ten.substr(1, 7));
+      out->push_back('-');
+      out->append(ten.substr(8, 1));
+      out->push_back('-');
+      out->append(ten.substr(9, 1));
+      return;
     }
     case IsbnStyle::kNumStyles:
       break;
   }
-  return std::string(isbn13);
+  out->append(isbn13);
 }
 
 std::string Isbn13FromIndex(uint64_t index) {

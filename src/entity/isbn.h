@@ -38,6 +38,10 @@ std::optional<std::string> Isbn13To10(std::string_view isbn13);
 /// Strips hyphens and spaces; returns the bare form.
 std::string StripIsbnSeparators(std::string_view s);
 
+/// Appending variant of StripIsbnSeparators, for reused scratch buffers
+/// in the scan kernel (callers clear between candidates).
+void StripIsbnSeparatorsInto(std::string_view s, std::string* out);
+
 /// How an ISBN is rendered on a page.
 enum class IsbnStyle : int {
   kBare10 = 0,        // 097522980X
@@ -50,6 +54,12 @@ enum class IsbnStyle : int {
 /// Renders a bare ISBN-13 (with a valid ISBN-10 counterpart) in the given
 /// style.
 std::string FormatIsbn(std::string_view isbn13, IsbnStyle style);
+
+/// Appending variant of FormatIsbn, for render-into-buffer page
+/// generation (hyphenated forms exceed small-string capacity, so the
+/// value-returning form heap-allocates per mention).
+void FormatIsbnInto(std::string_view isbn13, IsbnStyle style,
+                    std::string* out);
 
 /// Deterministically maps an index to a unique valid bare ISBN-13 in the
 /// 978 range. Collision-free for index < 10^9.

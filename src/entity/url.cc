@@ -20,73 +20,129 @@ std::string Url::ToString() const {
   return out;
 }
 
-std::optional<Url> ParseUrl(std::string_view raw) {
+namespace {
+
+// All parts of a parsed URL as views into the (trimmed) input: the
+// single allocation-free parser behind ParseUrl, CanonicalizeHomepageInto
+// and ParseHostInto. `scheme` and `host` are raw (not lower-cased);
+// `path` and `query` may be empty (ParseUrl defaults path to "/").
+struct UrlView {
+  std::string_view scheme;
+  std::string_view host;
+  std::string_view path;
+  std::string_view query;
+  int port = -1;
+};
+
+bool ParseUrlView(std::string_view raw, UrlView* out) {
   raw = Trim(raw);
   const size_t scheme_end = raw.find("://");
-  if (scheme_end == std::string_view::npos || scheme_end == 0) {
-    return std::nullopt;
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return false;
+  out->scheme = raw.substr(0, scheme_end);
+  if (!EqualsIgnoreCase(out->scheme, "http") &&
+      !EqualsIgnoreCase(out->scheme, "https")) {
+    return false;
   }
-  Url url;
-  url.scheme = ToLower(raw.substr(0, scheme_end));
-  if (url.scheme != "http" && url.scheme != "https") return std::nullopt;
 
   std::string_view rest = raw.substr(scheme_end + 3);
   // Drop the fragment first: it may contain '/' or '?'.
   const size_t frag = rest.find('#');
   if (frag != std::string_view::npos) rest = rest.substr(0, frag);
 
-  size_t path_start = rest.find_first_of("/?");
+  const size_t path_start = rest.find_first_of("/?");
   std::string_view authority =
       path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
-  if (authority.empty()) return std::nullopt;
+  if (authority.empty()) return false;
 
   // Strip userinfo if present (rare; synthetic corpus never emits it).
   const size_t at = authority.rfind('@');
   if (at != std::string_view::npos) authority = authority.substr(at + 1);
 
+  out->port = -1;
   const size_t colon = authority.rfind(':');
   if (colon != std::string_view::npos) {
     auto port = ParseUint64(authority.substr(colon + 1));
-    if (!port.has_value() || *port > 65535) return std::nullopt;
-    url.port = static_cast<int>(*port);
+    if (!port.has_value() || *port > 65535) return false;
+    out->port = static_cast<int>(*port);
     authority = authority.substr(0, colon);
   }
-  if (authority.empty()) return std::nullopt;
-  url.host = ToLower(authority);
+  if (authority.empty()) return false;
+  out->host = authority;
 
-  if (path_start == std::string_view::npos) {
-    url.path = "/";
-    return url;
+  out->path = std::string_view();
+  out->query = std::string_view();
+  if (path_start != std::string_view::npos) {
+    std::string_view tail = rest.substr(path_start);
+    const size_t q = tail.find('?');
+    if (q == std::string_view::npos) {
+      out->path = tail;
+    } else {
+      out->path = tail.substr(0, q);
+      out->query = tail.substr(q + 1);
+    }
   }
-  std::string_view tail = rest.substr(path_start);
-  const size_t q = tail.find('?');
-  if (q == std::string_view::npos) {
-    url.path = std::string(tail);
-  } else {
-    url.path = std::string(tail.substr(0, q));
-    url.query = std::string(tail.substr(q + 1));
+  return true;
+}
+
+// NormalizeHost over views: trims, drops one leading "www." label and a
+// trailing dot; the caller lower-cases while appending.
+std::string_view NormalizeHostView(std::string_view host) {
+  std::string_view h = Trim(host);
+  if (h.size() > 4 && EqualsIgnoreCase(h.substr(0, 4), "www.")) {
+    h = h.substr(4);
   }
-  if (url.path.empty()) url.path = "/";
+  if (!h.empty() && h.back() == '.') h.remove_suffix(1);
+  return h;
+}
+
+void AppendLower(std::string_view s, std::string* out) {
+  for (char c : s) out->push_back(ToLowerChar(c));
+}
+
+}  // namespace
+
+std::optional<Url> ParseUrl(std::string_view raw) {
+  UrlView view;
+  if (!ParseUrlView(raw, &view)) return std::nullopt;
+  Url url;
+  url.scheme = ToLower(view.scheme);
+  url.host = ToLower(view.host);
+  url.port = view.port;
+  url.path = view.path.empty() ? "/" : std::string(view.path);
+  url.query = std::string(view.query);
   return url;
 }
 
 std::string NormalizeHost(std::string_view host) {
-  std::string h = ToLower(Trim(host));
-  if (StartsWith(h, "www.") && h.size() > 4) h = h.substr(4);
-  // Trailing dot (FQDN form) normalizes away.
-  if (!h.empty() && h.back() == '.') h.pop_back();
-  return h;
+  std::string out;
+  AppendLower(NormalizeHostView(host), &out);
+  return out;
 }
 
 std::string CanonicalizeHomepage(std::string_view raw_url) {
-  auto url = ParseUrl(raw_url);
-  if (!url.has_value()) return std::string();
-  std::string path = url->path;
-  while (path.size() > 1 && path.back() == '/') path.pop_back();
-  if (path == "/") path.clear();
-  std::string out = NormalizeHost(url->host);
-  out += path;
+  std::string out;
+  CanonicalizeHomepageInto(raw_url, &out);
   return out;
+}
+
+bool CanonicalizeHomepageInto(std::string_view raw_url, std::string* out) {
+  out->clear();
+  UrlView view;
+  if (!ParseUrlView(raw_url, &view)) return false;
+  std::string_view path = view.path.empty() ? "/" : view.path;
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  if (path == "/") path = std::string_view();
+  AppendLower(NormalizeHostView(view.host), out);
+  out->append(path);
+  return true;
+}
+
+bool ParseHostInto(std::string_view raw_url, std::string* out) {
+  out->clear();
+  UrlView view;
+  if (!ParseUrlView(raw_url, &view)) return false;
+  AppendLower(NormalizeHostView(view.host), out);
+  return true;
 }
 
 std::string RegistrableDomain(std::string_view host) {

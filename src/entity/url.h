@@ -35,6 +35,20 @@ std::string NormalizeHost(std::string_view host);
 /// compare equal.
 std::string CanonicalizeHomepage(std::string_view raw_url);
 
+/// Zero-allocation variant of CanonicalizeHomepage: writes the canonical
+/// key into *out (replacing its contents, reusing capacity). Returns
+/// false — with *out cleared — exactly when CanonicalizeHomepage would
+/// return an empty string. The homepage scan kernel calls this per anchor
+/// with a reused scratch buffer.
+bool CanonicalizeHomepageInto(std::string_view raw_url, std::string* out);
+
+/// Zero-allocation host extraction: writes NormalizeHost(ParseUrl(raw)
+/// ->host) into *out (replacing contents, reusing capacity). Returns
+/// false — with *out cleared — exactly when ParseUrl would fail. The
+/// cache-scan kernel uses this to group pages by host without per-page
+/// URL materialization.
+bool ParseHostInto(std::string_view raw_url, std::string* out);
+
 /// Registrable domain ("site") of a host: the last two labels, or three
 /// for well-known two-level public suffixes (co.uk, com.au, ...). Naive
 /// but sufficient for synthetic hosts.

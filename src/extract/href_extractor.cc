@@ -1,21 +1,43 @@
 #include "extract/href_extractor.h"
 
 #include "entity/url.h"
-#include "html/text_extract.h"
+#include "html/char_ref.h"
+#include "html/tokenizer.h"
+#include "util/string_util.h"
 
 namespace wsd {
 
 std::vector<HrefMatch> ExtractHrefs(std::string_view page_html) {
   std::vector<HrefMatch> out;
-  for (const html::AnchorLink& anchor : html::ExtractAnchors(page_html)) {
-    if (anchor.href.empty()) continue;
-    std::string canonical = CanonicalizeHomepage(anchor.href);
-    if (canonical.empty()) continue;  // relative or non-http link
-    HrefMatch m;
-    m.canonical = std::move(canonical);
-    out.push_back(std::move(m));
-  }
+  HrefScratch scratch;
+  ExtractHrefsInto(page_html, &scratch,
+                   [&](const HrefMatch& m) { out.push_back(m); });
   return out;
+}
+
+void ExtractHrefsInto(std::string_view page_html, HrefScratch* scratch,
+                      FunctionRef<void(const HrefMatch&)> sink) {
+  html::Tokenizer tokenizer(page_html);
+  html::TokenView token;
+  while (tokenizer.NextView(&token)) {
+    if (token.type != html::TokenType::kStartTag ||
+        !EqualsIgnoreCase(token.text, "a")) {
+      continue;
+    }
+    std::string_view raw_href;
+    if (!html::FindTagAttribute(token.tag_body, "href", &raw_href) ||
+        raw_href.empty()) {
+      continue;
+    }
+    scratch->decoded.clear();
+    html::DecodeCharRefsInto(raw_href, &scratch->decoded);
+    if (scratch->decoded.empty()) continue;
+    if (!CanonicalizeHomepageInto(scratch->decoded,
+                                  &scratch->match.canonical)) {
+      continue;  // relative or non-http link
+    }
+    sink(scratch->match);
+  }
 }
 
 }  // namespace wsd

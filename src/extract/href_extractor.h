@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/function_ref.h"
+
 namespace wsd {
 
 /// A canonicalized outbound link candidate for homepage matching.
@@ -12,10 +14,25 @@ struct HrefMatch {
   std::string canonical;  // CanonicalizeHomepage() of the raw href
 };
 
+/// Reusable buffers for ExtractHrefsInto. Unlike phone/ISBN matches,
+/// canonical homepage keys routinely exceed small-string capacity, so the
+/// scan kernel must own these across pages to stay allocation-free.
+struct HrefScratch {
+  std::string decoded;  // href attribute value with char refs decoded
+  HrefMatch match;
+};
+
 /// Extracts the canonical homepage keys of all absolute http(s) anchors
 /// on the page ("we looked at the content of href tags of all anchor
 /// nodes", paper §3.2). Relative links and non-http schemes are skipped.
 std::vector<HrefMatch> ExtractHrefs(std::string_view page_html);
+
+/// Streaming variant: walks the page with the view tokenizer, lazily
+/// parses only <a> tag bodies for their first href, and canonicalizes
+/// into scratch-owned buffers. Invokes `sink` once per qualifying anchor,
+/// in document order, with scratch->match (reused; copy what you need).
+void ExtractHrefsInto(std::string_view page_html, HrefScratch* scratch,
+                      FunctionRef<void(const HrefMatch&)> sink);
 
 }  // namespace wsd
 

@@ -32,6 +32,15 @@ bool HasIsbnContext(std::string_view text, size_t begin, size_t end) {
 
 std::vector<IsbnMatch> ExtractIsbns(std::string_view text) {
   std::vector<IsbnMatch> matches;
+  ExtractIsbnsInto(text,
+                   [&](const IsbnMatch& m) { matches.push_back(m); });
+  return matches;
+}
+
+void ExtractIsbnsInto(std::string_view text,
+                      FunctionRef<void(const IsbnMatch&)> sink) {
+  IsbnMatch m;       // reused across matches
+  std::string bare;  // reused candidate buffer
   size_t i = 0;
   while (i < text.size()) {
     if (!IsDigit(text[i]) || (i > 0 && IsIsbnBodyChar(text[i - 1]))) {
@@ -46,22 +55,23 @@ std::vector<IsbnMatch> ExtractIsbns(std::string_view text) {
     std::string_view run = text.substr(i, j - i);
     while (!run.empty() && run.back() == '-') run.remove_suffix(1);
 
-    const std::string bare = StripIsbnSeparators(run);
-    std::string isbn13;
+    bare.clear();
+    StripIsbnSeparatorsInto(run, &bare);
+    bool valid = false;
     if (bare.size() == 13 && IsValidIsbn13(bare)) {
-      isbn13 = bare;
+      m.isbn13 = bare;
+      valid = true;
     } else if (bare.size() == 10 && IsValidIsbn10(bare)) {
-      isbn13 = *Isbn10To13(bare);
+      // The 13-char conversion fits small-string capacity: no heap.
+      m.isbn13 = *Isbn10To13(bare);
+      valid = true;
     }
-    if (!isbn13.empty() && HasIsbnContext(text, i, i + run.size())) {
-      IsbnMatch m;
-      m.isbn13 = std::move(isbn13);
+    if (valid && HasIsbnContext(text, i, i + run.size())) {
       m.offset = i;
-      matches.push_back(std::move(m));
+      sink(m);
     }
     i = j;
   }
-  return matches;
 }
 
 }  // namespace wsd

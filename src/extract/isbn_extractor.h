@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/function_ref.h"
+
 namespace wsd {
 
 /// An ISBN found in text, normalized to its bare ISBN-13 form.
@@ -18,6 +20,13 @@ struct IsbnMatch {
 /// valid check digit, "along with the string 'ISBN' in a small window
 /// near the match". ISBN-10 matches are normalized to ISBN-13.
 std::vector<IsbnMatch> ExtractIsbns(std::string_view text);
+
+/// Streaming variant: invokes `sink` once per match, in document order,
+/// with a match object that is reused across calls (copy what you need).
+/// Bare ISBN-13s fit small-string capacity, so the scan kernel pays no
+/// heap allocation per match.
+void ExtractIsbnsInto(std::string_view text,
+                      FunctionRef<void(const IsbnMatch&)> sink);
 
 /// The context window (bytes before the candidate) searched for "ISBN".
 constexpr size_t kIsbnContextWindow = 24;

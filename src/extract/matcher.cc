@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "extract/href_extractor.h"
 #include "extract/isbn_extractor.h"
 #include "extract/phone_extractor.h"
 
@@ -10,26 +9,33 @@ namespace wsd {
 
 std::vector<EntityId> EntityMatcher::MatchPage(
     std::string_view content) const {
-  std::vector<EntityId> ids;
+  MatchScratch scratch;
+  return MatchPageInto(content, &scratch);  // returns a copy of the ref
+}
+
+const std::vector<EntityId>& EntityMatcher::MatchPageInto(
+    std::string_view content, MatchScratch* scratch) const {
+  std::vector<EntityId>& ids = scratch->ids;
+  ids.clear();
   switch (attr_) {
     case Attribute::kPhone:
     case Attribute::kReviews:
-      for (const PhoneMatch& m : ExtractPhones(content)) {
+      ExtractPhonesInto(content, [&](const PhoneMatch& m) {
         const EntityId id = catalog_.FindByPhone(m.digits);
         if (id != kInvalidEntityId) ids.push_back(id);
-      }
+      });
       break;
     case Attribute::kIsbn:
-      for (const IsbnMatch& m : ExtractIsbns(content)) {
+      ExtractIsbnsInto(content, [&](const IsbnMatch& m) {
         const EntityId id = catalog_.FindByIsbn13(m.isbn13);
         if (id != kInvalidEntityId) ids.push_back(id);
-      }
+      });
       break;
     case Attribute::kHomepage:
-      for (const HrefMatch& m : ExtractHrefs(content)) {
+      ExtractHrefsInto(content, &scratch->href, [&](const HrefMatch& m) {
         const EntityId id = catalog_.FindByHomepage(m.canonical);
         if (id != kInvalidEntityId) ids.push_back(id);
-      }
+      });
       break;
     case Attribute::kNumAttributes:
       break;

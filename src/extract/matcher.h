@@ -6,8 +6,17 @@
 
 #include "entity/catalog.h"
 #include "entity/domains.h"
+#include "extract/href_extractor.h"
 
 namespace wsd {
+
+/// Reusable buffers for EntityMatcher::MatchPageInto. One per scan shard;
+/// capacities reach their watermark after a few pages and are reused for
+/// the rest of the scan.
+struct MatchScratch {
+  std::vector<EntityId> ids;  // the match result (sorted, deduplicated)
+  HrefScratch href;           // homepage-attribute buffers
+};
 
 /// Resolves raw page content to catalog entity ids for one identifying
 /// attribute: runs the attribute's extractor and keeps only identifiers
@@ -24,6 +33,12 @@ class EntityMatcher {
   /// the page's visible text; for kHomepage it is the raw HTML (anchors
   /// are parsed internally).
   std::vector<EntityId> MatchPage(std::string_view content) const;
+
+  /// Zero-allocation kernel behind MatchPage: fills scratch->ids (cleared
+  /// first, capacity reused) with the sorted, deduplicated entity ids of
+  /// the page. Returns scratch->ids for convenience.
+  const std::vector<EntityId>& MatchPageInto(std::string_view content,
+                                             MatchScratch* scratch) const;
 
   Attribute attribute() const { return attr_; }
 

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/function_ref.h"
+
 namespace wsd {
 
 /// A phone number found in text: its canonical 10 digits and the byte
@@ -22,6 +24,13 @@ struct PhoneMatch {
 /// digit-boundary checks so identifiers embedded in longer digit runs are
 /// not matched.
 std::vector<PhoneMatch> ExtractPhones(std::string_view text);
+
+/// Streaming variant: invokes `sink` once per match, in document order,
+/// with a match object that is reused across calls (copy what you need).
+/// The 10 canonical digits fit small-string capacity, so the scan kernel
+/// pays no heap allocation per match.
+void ExtractPhonesInto(std::string_view text,
+                       FunctionRef<void(const PhoneMatch&)> sink);
 
 }  // namespace wsd
 

@@ -2,6 +2,7 @@
 #define WSD_EXTRACT_REVIEW_DETECTOR_H_
 
 #include <string_view>
+#include <vector>
 
 #include "text/naive_bayes.h"
 #include "util/statusor.h"
@@ -26,6 +27,18 @@ class ReviewDetector {
 
   /// Log-odds score (positive = review); exposed for threshold studies.
   double Score(std::string_view visible_text) const;
+
+  /// Scores a pre-tokenized page (classification tokens, stopwords
+  /// already removed). The scan kernel tokenizes the visible text once
+  /// and reuses the token buffer here; bit-identical to Score() on the
+  /// text the tokens came from.
+  double ScoreTokens(const std::vector<std::string_view>& tokens) const {
+    return model_.PredictLogOddsViews(tokens);
+  }
+
+  bool IsReviewTokens(const std::vector<std::string_view>& tokens) const {
+    return ScoreTokens(tokens) > 0.0;
+  }
 
   const text::NaiveBayesClassifier& model() const { return model_; }
 

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-
 #include <unordered_map>
 
 #include "entity/url.h"
-#include "extract/matcher.h"
 #include "html/text_extract.h"
+#include "text/tokenizer.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -19,7 +18,7 @@ namespace {
 // Merges one completed scan into the global registry. Called once per
 // scan (never per page), so the inner extraction loop carries zero
 // instrumentation; ScanStats is the registry's per-run delta.
-void MirrorScanStats(const ScanStats& stats) {
+void MirrorScanStats(const ScanStats& stats, Attribute attr) {
   auto& reg = MetricsRegistry::Global();
   static Counter& hosts = reg.GetCounter("wsd.scan.hosts");
   static Counter& pages = reg.GetCounter("wsd.scan.pages");
@@ -38,17 +37,186 @@ void MirrorScanStats(const ScanStats& stats) {
   review_pages.Increment(stats.review_pages);
   skipped_urls.Increment(stats.skipped_urls);
   if (stats.wall_seconds > 0.0) {
-    pages_per_sec.Set(static_cast<double>(stats.pages_scanned) /
-                      stats.wall_seconds);
+    const double pps =
+        static_cast<double>(stats.pages_scanned) / stats.wall_seconds;
+    pages_per_sec.Set(pps);
     bytes_per_sec.Set(static_cast<double>(stats.bytes_scanned) /
                       stats.wall_seconds);
+    // Per-attribute throughput, so a phone scan doesn't overwrite the
+    // last ISBN scan's reading (and vice versa).
+    reg.GetGauge(std::string("wsd.scan.pages_per_sec.") +
+                 std::string(AttributeName(attr)))
+        .Set(pps);
   }
   run_seconds.Record(stats.wall_seconds);
 }
 
+// Per-page kernel: extracts and matches one page entirely through the
+// scratch buffers and returns its deduplicated entity ids (living in
+// scratch->match.ids until the next page). Sets *is_review exactly when
+// the page counts as a review page (kReviews scans only).
+const std::vector<EntityId>& ScanPage(const EntityMatcher& matcher,
+                                      const ReviewDetector* detector,
+                                      Attribute attr, const Page& page,
+                                      ScanScratch* scratch,
+                                      bool* is_review) {
+  *is_review = false;
+  if (attr == Attribute::kHomepage) {
+    return matcher.MatchPageInto(page.html, &scratch->match);
+  }
+  scratch->visible_text.clear();
+  html::ExtractVisibleTextInto(page.html, &scratch->visible_text);
+  const std::vector<EntityId>& ids =
+      matcher.MatchPageInto(scratch->visible_text, &scratch->match);
+  if (attr == Attribute::kReviews && !ids.empty()) {
+    // Two-step methodology: phone match first, then the Naive Bayes
+    // review decision over the page text. The text is tokenized exactly
+    // once (in place, mutating visible_text — safe because matching is
+    // already done) and scored from the token views.
+    scratch->class_tokens.clear();
+    text::TokenizeForClassificationInPlace(&scratch->visible_text,
+                                           &scratch->class_tokens);
+    if (detector->IsReviewTokens(scratch->class_tokens)) {
+      *is_review = true;
+    } else {
+      scratch->match.ids.clear();
+    }
+  }
+  return ids;
+}
+
+// Sort-and-collapse: turns the host's page-deduped id stream into the
+// sorted unique (entity, pages) rows the HostRecord contract requires —
+// the flat-vector replacement for the legacy per-host std::map.
+void CollapseHostIds(std::vector<EntityId>* host_ids,
+                     std::vector<EntityPages>* entities) {
+  std::sort(host_ids->begin(), host_ids->end());
+  for (size_t i = 0; i < host_ids->size();) {
+    size_t j = i + 1;
+    while (j < host_ids->size() && (*host_ids)[j] == (*host_ids)[i]) ++j;
+    entities->push_back(
+        {(*host_ids)[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+}
+
+// Transparent hashing so the cache scan can probe the host index with a
+// reused string_view key and only materialize strings for new hosts.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 }  // namespace
 
+size_t ScanScratch::MemoryFootprint() const {
+  return page.url.capacity() + page.html.capacity() +
+         visible_text.capacity() +
+         class_tokens.capacity() * sizeof(std::string_view) +
+         match.ids.capacity() * sizeof(EntityId) +
+         match.href.decoded.capacity() +
+         match.href.match.canonical.capacity() +
+         host_ids.capacity() * sizeof(EntityId);
+}
+
+void ScanHostPages(const SyntheticWeb& web, SiteId s,
+                   const EntityMatcher& matcher,
+                   const ReviewDetector* detector, ScanScratch* scratch,
+                   HostRecord* rec, uint64_t* mentions,
+                   uint64_t* review_pages) {
+  const Attribute attr = matcher.attribute();
+  rec->host.assign(web.host(s));
+  rec->entities.clear();
+  rec->pages_scanned = 0;
+  rec->bytes_scanned = 0;
+  scratch->host_ids.clear();
+
+  uint64_t local_mentions = 0;
+  uint64_t local_reviews = 0;
+  web.GeneratePages(
+      s, &scratch->page, [&](const Page& page, const PageTruth&) {
+        ++rec->pages_scanned;
+        rec->bytes_scanned += page.html.size();
+        bool is_review = false;
+        const std::vector<EntityId>& ids =
+            ScanPage(matcher, detector, attr, page, scratch, &is_review);
+        local_mentions += ids.size();
+        if (is_review) ++local_reviews;
+        scratch->host_ids.insert(scratch->host_ids.end(), ids.begin(),
+                                 ids.end());
+      });
+  CollapseHostIds(&scratch->host_ids, &rec->entities);
+  *mentions += local_mentions;
+  *review_pages += local_reviews;
+}
+
 StatusOr<ScanResult> ScanPipeline::Run() const {
+  const Attribute attr = web_.config().attr;
+  if (attr == Attribute::kReviews && detector_ == nullptr) {
+    return Status::InvalidArgument(
+        "review scan requires a ReviewDetector");
+  }
+
+  Timer timer;
+  const uint32_t num_hosts = web_.num_hosts();
+  std::vector<HostRecord> records(num_hosts);
+
+  const EntityMatcher matcher(web_.catalog(), attr);
+  const ReviewDetector* detector = detector_;
+  const SyntheticWeb& web = web_;
+
+  std::atomic<uint64_t> mentions{0};
+  std::atomic<uint64_t> review_pages{0};
+  std::atomic<size_t> max_scratch_bytes{0};
+  LatencyHistogram& shard_seconds =
+      MetricsRegistry::Global().GetHistogram("wsd.scan.shard_seconds");
+
+  // Hosts are disjoint, so each iteration owns records[s] exclusively.
+  // One ScanScratch per shard; counters stay shard-local and merge once
+  // per shard. Only the shard wall time is recorded into the registry
+  // from inside the parallel region.
+  ParallelForShards(pool_, 0, num_hosts, [&](size_t /*shard*/, size_t lo,
+                                             size_t hi) {
+    const ScopedTimer shard_timer(shard_seconds);
+    ScanScratch scratch;
+    uint64_t local_mentions = 0;
+    uint64_t local_reviews = 0;
+    for (size_t s = lo; s < hi; ++s) {
+      ScanHostPages(web, static_cast<SiteId>(s), matcher, detector,
+                    &scratch, &records[s], &local_mentions,
+                    &local_reviews);
+    }
+    mentions.fetch_add(local_mentions, std::memory_order_relaxed);
+    review_pages.fetch_add(local_reviews, std::memory_order_relaxed);
+    const size_t footprint = scratch.MemoryFootprint();
+    size_t seen = max_scratch_bytes.load(std::memory_order_relaxed);
+    while (seen < footprint &&
+           !max_scratch_bytes.compare_exchange_weak(
+               seen, footprint, std::memory_order_relaxed)) {
+    }
+  });
+
+  ScanResult result;
+  result.table = HostEntityTable(std::move(records));
+  result.stats.hosts_scanned = num_hosts;
+  for (size_t i = 0; i < result.table.num_hosts(); ++i) {
+    result.stats.pages_scanned += result.table.host(i).pages_scanned;
+    result.stats.bytes_scanned += result.table.host(i).bytes_scanned;
+  }
+  result.stats.entity_mentions = mentions.load();
+  result.stats.review_pages = review_pages.load();
+  result.table.PruneEmptyHosts();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  MetricsRegistry::Global()
+      .GetGauge("wsd.scan.scratch_bytes")
+      .Set(static_cast<double>(max_scratch_bytes.load()));
+  MirrorScanStats(result.stats, attr);
+  return result;
+}
+
+StatusOr<ScanResult> ScanPipeline::RunLegacy() const {
   const Attribute attr = web_.config().attr;
   if (attr == Attribute::kReviews && detector_ == nullptr) {
     return Status::InvalidArgument(
@@ -68,10 +236,6 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
   LatencyHistogram& shard_seconds =
       MetricsRegistry::Global().GetHistogram("wsd.scan.shard_seconds");
 
-  // Hosts are disjoint, so each iteration owns records[s] exclusively.
-  // Counters stay shard-local and merge once per shard; only the shard
-  // wall time is recorded into the registry from inside the parallel
-  // region.
   ParallelForShards(pool_, 0, num_hosts, [&](size_t /*shard*/, size_t lo,
                                              size_t hi) {
     const ScopedTimer shard_timer(shard_seconds);
@@ -89,13 +253,24 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
             rec.bytes_scanned += page.html.size();
             std::vector<EntityId> ids;
             if (attr == Attribute::kHomepage) {
-              ids = matcher.MatchPage(page.html);
+              // Pre-kernel anchor path: materialize every anchor (href
+              // and link text) before matching.
+              for (const html::AnchorLink& anchor :
+                   html::ExtractAnchors(page.html)) {
+                if (anchor.href.empty()) continue;
+                const std::string canonical =
+                    CanonicalizeHomepage(anchor.href);
+                if (canonical.empty()) continue;
+                const EntityId id =
+                    web.catalog().FindByHomepage(canonical);
+                if (id != kInvalidEntityId) ids.push_back(id);
+              }
+              std::sort(ids.begin(), ids.end());
+              ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
             } else {
               const std::string text =
-                  html::ExtractVisibleText(page.html);
+                  html::ExtractVisibleTextLegacy(page.html);
               if (attr == Attribute::kReviews) {
-                // Two-step methodology: phone match first, then the Naive
-                // Bayes review decision over the page text.
                 ids = matcher.MatchPage(text);
                 if (!ids.empty() && !detector->IsReview(text)) {
                   ids.clear();
@@ -128,13 +303,9 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
   result.stats.review_pages = review_pages.load();
   result.table.PruneEmptyHosts();
   result.stats.wall_seconds = timer.ElapsedSeconds();
-  MirrorScanStats(result.stats);
+  MirrorScanStats(result.stats, attr);
   return result;
 }
-
-}  // namespace wsd
-
-namespace wsd {
 
 StatusOr<ScanResult> ScanCacheFile(const std::string& path,
                                    const DomainCatalog& catalog,
@@ -147,54 +318,48 @@ StatusOr<ScanResult> ScanCacheFile(const std::string& path,
   Timer timer;
   const EntityMatcher matcher(catalog, attr);
 
-  // host name -> (record index) plus per-host entity page counts.
-  std::unordered_map<std::string, size_t> host_index;
+  // host name -> record index. Probed with a string_view of the reused
+  // host buffer; a std::string key is only materialized for new hosts.
+  std::unordered_map<std::string, size_t, StringHash, std::equal_to<>>
+      host_index;
   std::vector<HostRecord> records;
-  std::vector<std::map<EntityId, uint32_t>> counts;
+  std::vector<std::vector<EntityId>> host_ids;  // per-host flat id stream
+  ScanScratch scratch;
+  std::string host;  // reused normalized-host buffer
   uint64_t mentions = 0, review_pages = 0, skipped_urls = 0;
 
   const Status read_status = ReadWebCache(path, [&](const Page& page) {
-    auto url = ParseUrl(page.url);
-    if (!url.has_value()) {
+    if (!ParseHostInto(page.url, &host)) {
       ++skipped_urls;
       return;
     }
-    const std::string host = NormalizeHost(url->host);
-    auto [it, inserted] = host_index.emplace(host, records.size());
-    if (inserted) {
+    size_t idx;
+    const auto it = host_index.find(std::string_view(host));
+    if (it == host_index.end()) {
+      idx = records.size();
+      host_index.emplace(host, idx);
       records.emplace_back();
       records.back().host = host;
-      counts.emplace_back();
+      host_ids.emplace_back();
+    } else {
+      idx = it->second;
     }
-    HostRecord& rec = records[it->second];
+    HostRecord& rec = records[idx];
     ++rec.pages_scanned;
     rec.bytes_scanned += page.html.size();
 
-    std::vector<EntityId> ids;
-    if (attr == Attribute::kHomepage) {
-      ids = matcher.MatchPage(page.html);
-    } else {
-      const std::string text = html::ExtractVisibleText(page.html);
-      ids = matcher.MatchPage(text);
-      if (attr == Attribute::kReviews && !ids.empty()) {
-        if (!detector->IsReview(text)) {
-          ids.clear();
-        } else {
-          ++review_pages;
-        }
-      }
-    }
+    bool is_review = false;
+    const std::vector<EntityId>& ids =
+        ScanPage(matcher, detector, attr, page, &scratch, &is_review);
     mentions += ids.size();
-    for (EntityId id : ids) ++counts[it->second][id];
+    if (is_review) ++review_pages;
+    host_ids[idx].insert(host_ids[idx].end(), ids.begin(), ids.end());
   });
   WSD_RETURN_IF_ERROR(read_status);
 
   ScanResult result;
   for (size_t i = 0; i < records.size(); ++i) {
-    records[i].entities.reserve(counts[i].size());
-    for (const auto& [id, pages] : counts[i]) {
-      records[i].entities.push_back({id, pages});
-    }
+    CollapseHostIds(&host_ids[i], &records[i].entities);
   }
   result.table = HostEntityTable(std::move(records));
   result.stats.hosts_scanned = result.table.num_hosts();
@@ -207,7 +372,10 @@ StatusOr<ScanResult> ScanCacheFile(const std::string& path,
   result.stats.skipped_urls = skipped_urls;
   result.table.PruneEmptyHosts();
   result.stats.wall_seconds = timer.ElapsedSeconds();
-  MirrorScanStats(result.stats);
+  MetricsRegistry::Global()
+      .GetGauge("wsd.scan.scratch_bytes")
+      .Set(static_cast<double>(scratch.MemoryFootprint()));
+  MirrorScanStats(result.stats, attr);
   return result;
 }
 

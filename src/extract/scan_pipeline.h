@@ -3,9 +3,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "corpus/web_cache.h"
 #include "extract/host_table.h"
+#include "extract/matcher.h"
 #include "extract/review_detector.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -33,6 +37,38 @@ struct ScanResult {
   ScanStats stats;
 };
 
+/// Per-shard reusable buffers for the streaming scan kernel. One
+/// ScanScratch lives for a whole shard; every buffer's capacity climbs to
+/// its watermark within the first few hosts and is reused afterwards, so
+/// the per-page inner loop performs no heap allocation in steady state
+/// (asserted by the allocation-regression test in scan_pipeline_test).
+struct ScanScratch {
+  Page page;                 // rendered page (url + html)
+  std::string visible_text;  // extracted page text
+  // Classification tokens: views into visible_text, valid only until the
+  // next page.
+  std::vector<std::string_view> class_tokens;
+  MatchScratch match;             // extractor + matcher buffers
+  std::vector<EntityId> host_ids;  // per-host page-deduped entity ids
+
+  /// Bytes currently held across all buffers (capacities, not sizes);
+  /// exported as the `wsd.scan.scratch_bytes` gauge.
+  size_t MemoryFootprint() const;
+};
+
+/// Scans every page of host `s` with the zero-allocation kernel: renders
+/// into scratch->page, extracts/matches via the scratch buffers, and
+/// leaves the host's sorted (entity, pages) rows in rec->entities
+/// (sort-and-collapse of scratch->host_ids). All rec fields are reset
+/// first, with capacity reuse. `mentions` and `review_pages` are
+/// incremented by the host's totals. `detector` is required for
+/// Attribute::kReviews scans and ignored otherwise.
+void ScanHostPages(const SyntheticWeb& web, SiteId s,
+                   const EntityMatcher& matcher,
+                   const ReviewDetector* detector, ScanScratch* scratch,
+                   HostRecord* rec, uint64_t* mentions,
+                   uint64_t* review_pages);
+
 /// The paper's cache scan (§3.1): stream every page of every host through
 /// the attribute extractor and aggregate matches per host. Hosts are
 /// processed in parallel shards; rendering is deterministic per host, so
@@ -50,8 +86,17 @@ class ScanPipeline {
                const ReviewDetector* detector = nullptr)
       : web_(web), pool_(pool), detector_(detector) {}
 
-  /// Runs the scan. Fails if a review scan lacks a detector.
+  /// Runs the scan with the streaming kernel (one ScanScratch per shard,
+  /// zero steady-state allocation per page). Fails if a review scan
+  /// lacks a detector.
   StatusOr<ScanResult> Run() const;
+
+  /// The pre-kernel implementation: value-returning extractors, per-page
+  /// string/vector materialization and a per-host std::map. Kept as the
+  /// ablation baseline for bench_micro_scan and as the oracle for the
+  /// kernel equivalence tests — both paths must produce bit-identical
+  /// tables and stats.
+  StatusOr<ScanResult> RunLegacy() const;
 
  private:
   const SyntheticWeb& web_;
@@ -63,7 +108,8 @@ class ScanPipeline {
 /// gen-cache`) instead of a live synthetic web. Pages are grouped into
 /// hosts by the normalized host of their URL; pages with unparseable
 /// URLs are counted in stats and skipped. Single-threaded streaming (the
-/// file is the bottleneck). A detector is required for review scans.
+/// file is the bottleneck) on the same ScanScratch kernel as
+/// ScanPipeline::Run. A detector is required for review scans.
 StatusOr<ScanResult> ScanCacheFile(const std::string& path,
                                    const DomainCatalog& catalog,
                                    Attribute attr,

@@ -108,6 +108,34 @@ size_t TryDecodeRef(std::string_view s, size_t i, std::string& out) {
 std::string DecodeCharRefs(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  DecodeCharRefsInto(s, &out);
+  return out;
+}
+
+void DecodeCharRefsInto(std::string_view s, std::string* out) {
+  // Hot path of visible-text extraction: jump between '&'s and append
+  // the (usually ref-free) runs in bulk instead of per character.
+  size_t i = 0;
+  while (i < s.size()) {
+    const size_t amp = s.find('&', i);
+    if (amp == std::string_view::npos) {
+      out->append(s.substr(i));
+      return;
+    }
+    out->append(s.substr(i, amp - i));
+    const size_t next = TryDecodeRef(s, amp, *out);
+    if (next != amp) {
+      i = next;
+    } else {
+      out->push_back('&');
+      i = amp + 1;
+    }
+  }
+}
+
+std::string DecodeCharRefsLegacy(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
   size_t i = 0;
   while (i < s.size()) {
     if (s[i] == '&') {
@@ -126,28 +154,33 @@ std::string DecodeCharRefs(std::string_view s) {
 std::string EscapeHtml(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  EscapeHtmlInto(s, &out);
+  return out;
+}
+
+void EscapeHtmlInto(std::string_view s, std::string* out) {
+  std::string& ref = *out;
   for (char c : s) {
     switch (c) {
       case '&':
-        out.append("&amp;");
+        ref.append("&amp;");
         break;
       case '<':
-        out.append("&lt;");
+        ref.append("&lt;");
         break;
       case '>':
-        out.append("&gt;");
+        ref.append("&gt;");
         break;
       case '"':
-        out.append("&quot;");
+        ref.append("&quot;");
         break;
       case '\'':
-        out.append("&#39;");
+        ref.append("&#39;");
         break;
       default:
-        out.push_back(c);
+        ref.push_back(c);
     }
   }
-  return out;
 }
 
 }  // namespace html

@@ -7,27 +7,6 @@ namespace html {
 
 namespace {
 
-bool IsTagNameChar(char c) {
-  return IsAlnum(c) || c == '-' || c == ':';
-}
-
-// Finds the end of a tag ('>') starting after '<', honoring quoted
-// attribute values that may contain '>'. Returns npos if unterminated.
-size_t FindTagEnd(std::string_view s, size_t start) {
-  char quote = 0;
-  for (size_t i = start; i < s.size(); ++i) {
-    const char c = s[i];
-    if (quote != 0) {
-      if (c == quote) quote = 0;
-    } else if (c == '"' || c == '\'') {
-      quote = c;
-    } else if (c == '>') {
-      return i;
-    }
-  }
-  return std::string_view::npos;
-}
-
 // Case-insensitive search for `needle` (ASCII) in `haystack` from `from`.
 size_t FindCaseInsensitive(std::string_view haystack, std::string_view needle,
                            size_t from) {
@@ -48,152 +27,115 @@ size_t FindCaseInsensitive(std::string_view haystack, std::string_view needle,
   return std::string_view::npos;
 }
 
-}  // namespace
-
-bool Tokenizer::Next(Token* token) {
-  token->attributes.clear();
-  token->self_closing = false;
-
-  if (!raw_text_element_.empty()) {
-    Token raw;
-    if (LexRawText(raw_text_element_, &raw)) {
-      *token = std::move(raw);
-      return true;
-    }
-    // Raw content was empty; fall through to lex the close tag.
-  }
-
-  if (pos_ >= input_.size()) return false;
-
-  if (input_[pos_] != '<') {
-    const size_t next_lt = input_.find('<', pos_);
-    const size_t end = next_lt == std::string_view::npos ? input_.size()
-                                                         : next_lt;
-    token->type = TokenType::kText;
-    token->text.assign(input_.substr(pos_, end - pos_));
-    pos_ = end;
-    return true;
-  }
-  return LexTag(token);
+void AssignLower(std::string_view s, std::string* out) {
+  out->clear();
+  for (char c : s) out->push_back(ToLowerChar(c));
 }
 
-bool Tokenizer::LexRawText(std::string_view element, Token* token) {
+}  // namespace
+
+bool Tokenizer::LexRawText(TokenView* view) {
   // Content runs until "</element" (case-insensitive); browsers accept
-  // anything after the name up to '>'.
-  const std::string close = "</" + std::string(element);
-  const size_t close_pos = FindCaseInsensitive(input_, close, pos_);
+  // anything after the name up to '>'. The close-tag needle is rebuilt
+  // from the static element literal, so no allocation happens here.
+  const size_t close_pos =
+      raw_text_element_ == "script"
+          ? FindCaseInsensitive(input_, "</script", pos_)
+          : FindCaseInsensitive(input_, "</style", pos_);
   const size_t end =
       close_pos == std::string_view::npos ? input_.size() : close_pos;
-  raw_text_element_.clear();
+  raw_text_element_ = std::string_view();
   if (end == pos_) return false;  // nothing between open and close tags
-  token->type = TokenType::kText;
-  token->text.assign(input_.substr(pos_, end - pos_));
+  view->type = TokenType::kText;
+  view->text = input_.substr(pos_, end - pos_);
   pos_ = end;
   return true;
 }
 
-bool Tokenizer::LexTag(Token* token) {
-  // pos_ is at '<'.
-  const size_t start = pos_;
-  if (StartsWith(input_.substr(start), "<!--")) {
-    const size_t close = input_.find("-->", start + 4);
-    const size_t end =
-        close == std::string_view::npos ? input_.size() : close;
-    token->type = TokenType::kComment;
-    token->text.assign(input_.substr(start + 4, end - start - 4));
-    pos_ = close == std::string_view::npos ? input_.size() : close + 3;
-    return true;
-  }
-  if (start + 1 < input_.size() && input_[start + 1] == '!') {
-    const size_t close = input_.find('>', start);
-    const size_t end = close == std::string_view::npos ? input_.size()
-                                                       : close;
-    token->type = TokenType::kDoctype;
-    token->text.assign(input_.substr(start + 2, end - start - 2));
-    pos_ = close == std::string_view::npos ? input_.size() : close + 1;
-    return true;
-  }
-
-  const bool is_end_tag =
-      start + 1 < input_.size() && input_[start + 1] == '/';
-  const size_t name_start = start + (is_end_tag ? 2 : 1);
-  if (name_start >= input_.size() || !IsAlpha(input_[name_start])) {
-    // A stray '<' (e.g. "1 < 2"): emit it as text and resynchronize.
-    token->type = TokenType::kText;
-    token->text = "<";
-    ++pos_;
-    return true;
-  }
-
-  const size_t gt = FindTagEnd(input_, name_start);
-  if (gt == std::string_view::npos) {
-    // Unterminated tag at EOF: swallow the rest as text, like browsers.
-    token->type = TokenType::kText;
-    token->text.assign(input_.substr(start));
-    pos_ = input_.size();
-    return true;
-  }
-
-  size_t name_end = name_start;
-  while (name_end < gt && IsTagNameChar(input_[name_end])) ++name_end;
-  token->text = ToLower(input_.substr(name_start, name_end - name_start));
-
-  if (is_end_tag) {
-    token->type = TokenType::kEndTag;
-  } else {
-    token->type = TokenType::kStartTag;
-    std::string_view body = input_.substr(name_end, gt - name_end);
-    if (!body.empty() && body.back() == '/') {
-      token->self_closing = true;
-      body.remove_suffix(1);
+bool Tokenizer::Next(Token* token) {
+  TokenView view;
+  if (!NextView(&view)) return false;
+  token->type = view.type;
+  token->self_closing = view.self_closing;
+  token->attributes.clear();
+  switch (view.type) {
+    case TokenType::kStartTag:
+    case TokenType::kEndTag: {
+      AssignLower(view.text, &token->text);
+      AttributeCursor cursor(view.tag_body);
+      std::string_view name, value;
+      while (cursor.Next(&name, &value)) {
+        TagAttribute attr;
+        AssignLower(name, &attr.name);
+        attr.value.assign(value);
+        token->attributes.push_back(std::move(attr));
+      }
+      break;
     }
-    LexAttributes(body, token);
-    if (!token->self_closing &&
-        (token->text == "script" || token->text == "style")) {
-      raw_text_element_ = token->text;
-    }
+    case TokenType::kText:
+    case TokenType::kComment:
+    case TokenType::kDoctype:
+      token->text.assign(view.text);
+      break;
   }
-  pos_ = gt + 1;
   return true;
 }
 
-void Tokenizer::LexAttributes(std::string_view body, Token* token) {
-  size_t i = 0;
-  while (i < body.size()) {
-    while (i < body.size() && (IsSpace(body[i]) || body[i] == '/')) ++i;
-    if (i >= body.size()) break;
+bool AttributeCursor::Next(std::string_view* name, std::string_view* value) {
+  while (pos_ < body_.size()) {
+    size_t i = pos_;
+    while (i < body_.size() && (IsSpace(body_[i]) || body_[i] == '/')) ++i;
+    if (i >= body_.size()) {
+      pos_ = i;
+      return false;
+    }
 
     const size_t name_start = i;
-    while (i < body.size() && !IsSpace(body[i]) && body[i] != '=' &&
-           body[i] != '/') {
+    while (i < body_.size() && !IsSpace(body_[i]) && body_[i] != '=' &&
+           body_[i] != '/') {
       ++i;
     }
-    TagAttribute attr;
-    attr.name = ToLower(body.substr(name_start, i - name_start));
-    if (attr.name.empty()) {
-      ++i;
+    *name = body_.substr(name_start, i - name_start);
+    if (name->empty()) {
+      pos_ = i + 1;
       continue;
     }
 
-    while (i < body.size() && IsSpace(body[i])) ++i;
-    if (i < body.size() && body[i] == '=') {
+    while (i < body_.size() && IsSpace(body_[i])) ++i;
+    *value = std::string_view();
+    if (i < body_.size() && body_[i] == '=') {
       ++i;
-      while (i < body.size() && IsSpace(body[i])) ++i;
-      if (i < body.size() && (body[i] == '"' || body[i] == '\'')) {
-        const char quote = body[i];
+      while (i < body_.size() && IsSpace(body_[i])) ++i;
+      if (i < body_.size() && (body_[i] == '"' || body_[i] == '\'')) {
+        const char quote = body_[i];
         ++i;
         const size_t value_start = i;
-        while (i < body.size() && body[i] != quote) ++i;
-        attr.value.assign(body.substr(value_start, i - value_start));
-        if (i < body.size()) ++i;  // closing quote
+        while (i < body_.size() && body_[i] != quote) ++i;
+        *value = body_.substr(value_start, i - value_start);
+        if (i < body_.size()) ++i;  // closing quote
       } else {
         const size_t value_start = i;
-        while (i < body.size() && !IsSpace(body[i])) ++i;
-        attr.value.assign(body.substr(value_start, i - value_start));
+        while (i < body_.size() && !IsSpace(body_[i])) ++i;
+        *value = body_.substr(value_start, i - value_start);
       }
     }
-    token->attributes.push_back(std::move(attr));
+    pos_ = i;
+    return true;
   }
+  return false;
+}
+
+bool FindTagAttribute(std::string_view tag_body, std::string_view name_lower,
+                      std::string_view* value) {
+  AttributeCursor cursor(tag_body);
+  std::string_view name, v;
+  while (cursor.Next(&name, &v)) {
+    if (EqualsIgnoreCase(name, name_lower)) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<Token> Tokenizer::TokenizeAll(std::string_view input) {

@@ -56,6 +56,20 @@ double NaiveBayesClassifier::PredictLogOdds(
   return odds;
 }
 
+double NaiveBayesClassifier::PredictLogOddsViews(
+    const std::vector<std::string_view>& tokens) const {
+  double odds = log_prior_[1] - log_prior_[0];
+  for (std::string_view tok : tokens) {
+    auto it = vocab_.find(tok);
+    if (it == vocab_.end()) {
+      odds += log_unk_[1] - log_unk_[0];
+    } else {
+      odds += it->second.log_prob[1] - it->second.log_prob[0];
+    }
+  }
+  return odds;
+}
+
 Status NaiveBayesClassifier::Save(const std::string& path) const {
   if (!finalized_) {
     return Status::FailedPrecondition("Save requires a finalized model");

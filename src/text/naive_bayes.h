@@ -33,6 +33,13 @@ class NaiveBayesClassifier {
   /// evidence term. Positive => classify as review.
   double PredictLogOdds(const std::vector<std::string>& tokens) const;
 
+  /// View-based scoring for the scan kernel: heterogeneous lookup keeps
+  /// the hot path free of per-token string materialization. Summation
+  /// order matches PredictLogOdds, so results are bit-identical for the
+  /// same token sequence.
+  double PredictLogOddsViews(
+      const std::vector<std::string_view>& tokens) const;
+
   bool Predict(const std::vector<std::string>& tokens) const {
     return PredictLogOdds(tokens) > 0.0;
   }
@@ -53,7 +60,17 @@ class NaiveBayesClassifier {
     double log_prob[2] = {0, 0};
   };
 
-  std::unordered_map<std::string, TokenStats> vocab_;
+  // Transparent hashing so PredictLogOddsViews can probe with
+  // string_view keys without constructing std::string temporaries.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, TokenStats, StringHash, std::equal_to<>>
+      vocab_;
   uint64_t doc_count_[2] = {0, 0};
   uint64_t token_count_[2] = {0, 0};
   double log_prior_[2] = {0, 0};

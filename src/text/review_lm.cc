@@ -119,23 +119,33 @@ std::string BoilerplateSentence(Rng& rng, const std::string& subject) {
 }  // namespace
 
 std::string GenerateReviewText(Rng& rng, const std::string& subject) {
-  const uint64_t sentences = 1 + rng.Uniform(5);
   std::string out;
-  for (uint64_t i = 0; i < sentences; ++i) {
-    if (i > 0) out.push_back(' ');
-    out += ReviewSentence(rng, subject);
-  }
+  GenerateReviewTextInto(rng, subject, &out);
   return out;
 }
 
 std::string GenerateBoilerplateText(Rng& rng, const std::string& subject) {
-  const uint64_t sentences = 1 + rng.Uniform(4);
   std::string out;
-  for (uint64_t i = 0; i < sentences; ++i) {
-    if (i > 0) out.push_back(' ');
-    out += BoilerplateSentence(rng, subject);
-  }
+  GenerateBoilerplateTextInto(rng, subject, &out);
   return out;
+}
+
+void GenerateReviewTextInto(Rng& rng, const std::string& subject,
+                            std::string* out) {
+  const uint64_t sentences = 1 + rng.Uniform(5);
+  for (uint64_t i = 0; i < sentences; ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(ReviewSentence(rng, subject));
+  }
+}
+
+void GenerateBoilerplateTextInto(Rng& rng, const std::string& subject,
+                                 std::string* out) {
+  const uint64_t sentences = 1 + rng.Uniform(4);
+  for (uint64_t i = 0; i < sentences; ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(BoilerplateSentence(rng, subject));
+  }
 }
 
 std::vector<LabeledDoc> MakeTrainingCorpus(Rng& rng, size_t per_class) {

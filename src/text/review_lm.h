@@ -24,6 +24,14 @@ std::string GenerateReviewText(Rng& rng, const std::string& subject);
 /// category links, map text).
 std::string GenerateBoilerplateText(Rng& rng, const std::string& subject);
 
+/// Appending variants for render-into-buffer page generation. Consume the
+/// RNG identically and append the same bytes as the value-returning
+/// forms.
+void GenerateReviewTextInto(Rng& rng, const std::string& subject,
+                            std::string* out);
+void GenerateBoilerplateTextInto(Rng& rng, const std::string& subject,
+                                 std::string* out);
+
 /// A labeled training document.
 struct LabeledDoc {
   std::string content;

@@ -61,5 +61,32 @@ std::vector<std::string> TokenizeForClassification(std::string_view text) {
   return out;
 }
 
+void TokenizeForClassificationInPlace(std::string* text,
+                                      std::vector<std::string_view>* out) {
+  std::string& s = *text;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!IsWordChar(s[i])) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    bool has_alpha = false;
+    while (i < s.size() && IsWordChar(s[i])) {
+      if (IsAlpha(s[i])) has_alpha = true;
+      s[i] = ToLowerChar(s[i]);
+      ++i;
+    }
+    if (!has_alpha) continue;  // drop pure-digit runs
+    // Strip leading/trailing apostrophes ('tis, dogs').
+    size_t b = start, e = i;
+    while (b < e && s[b] == '\'') ++b;
+    while (e > b && s[e - 1] == '\'') --e;
+    if (e == b) continue;
+    const std::string_view tok(s.data() + b, e - b);
+    if (!IsStopword(tok)) out->push_back(tok);
+  }
+}
+
 }  // namespace text
 }  // namespace wsd

@@ -20,6 +20,15 @@ bool IsStopword(std::string_view word);
 /// Tokenize + stopword removal.
 std::vector<std::string> TokenizeForClassification(std::string_view text);
 
+/// Zero-allocation variant of TokenizeForClassification for the scan
+/// kernel: lower-cases word runs of *text in place and appends views into
+/// *text to *out (which the caller clears between pages and whose
+/// capacity is reused). The views alias *text and are invalidated by any
+/// mutation of it. Token sequence is identical to
+/// TokenizeForClassification on the same input.
+void TokenizeForClassificationInPlace(std::string* text,
+                                      std::vector<std::string_view>* out);
+
 }  // namespace text
 }  // namespace wsd
 

@@ -1,0 +1,51 @@
+#ifndef WSD_UTIL_FUNCTION_REF_H_
+#define WSD_UTIL_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace wsd {
+
+template <typename Signature>
+class FunctionRef;
+
+/// A non-owning, non-allocating reference to a callable — the sink type of
+/// the scan kernel's hot-path APIs. Unlike std::function it never heap
+/// allocates (it stores one pointer to the callable plus one function
+/// pointer), so it is safe to construct per page inside the
+/// zero-steady-state-allocation scan loop. The referenced callable must
+/// outlive the FunctionRef; bind only to lvalues or to temporaries whose
+/// full expression contains every call (the usual function-argument case).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): by-value sink idiom.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_(&Invoke<std::remove_reference_t<F>>) {}
+
+  /// Calls the referenced callable.
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_FUNCTION_REF_H_

@@ -155,6 +155,26 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  const int needed = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (needed <= 0) return;
+  if (static_cast<size_t>(needed) < sizeof(buf)) {
+    out->append(buf, static_cast<size_t>(needed));
+    return;
+  }
+  // Rare long output: format straight into the string's tail.
+  const size_t old_size = out->size();
+  out->resize(old_size + static_cast<size_t>(needed));
+  va_start(args, fmt);
+  std::vsnprintf(out->data() + old_size, static_cast<size_t>(needed) + 1,
+                 fmt, args);
+  va_end(args);
+}
+
 std::string WithCommas(uint64_t v) {
   std::string digits = std::to_string(v);
   std::string out;

@@ -64,6 +64,12 @@ inline char ToLowerChar(char c) {
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// printf-style formatting appended to *out. Formats into a stack buffer
+/// first, so appends that fit existing capacity perform no heap
+/// allocation — the variant the zero-allocation page renderer uses.
+void AppendFormat(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /// Formats `v` with thousands separators ("1,234,567"); for reports.
 std::string WithCommas(uint64_t v);
 

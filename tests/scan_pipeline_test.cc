@@ -9,11 +9,45 @@
 
 #include "util/metrics.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <new>
 #include <set>
+
+// --- Allocation counting hook (for the steady-state regression test) ---
+//
+// Replaces global operator new/delete with malloc/free plus a
+// thread-local counter that only ticks while armed. Other threads and
+// tests run with the flag down, so the override is inert outside the
+// allocation test.
+namespace {
+thread_local bool g_count_allocs = false;
+thread_local uint64_t g_alloc_count = 0;
+
+struct AllocCountGuard {
+  AllocCountGuard() {
+    g_alloc_count = 0;
+    g_count_allocs = true;
+  }
+  ~AllocCountGuard() { g_count_allocs = false; }
+};
+}  // namespace
+
+void* operator new(size_t size) {
+  if (g_count_allocs) ++g_alloc_count;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
 
 namespace wsd {
 namespace {
@@ -270,6 +304,97 @@ TEST(ScanCacheFileTest, ErrorsSurface) {
                   .status()
                   .IsInvalidArgument());
 }
+
+// The scan kernel (Run) and the pre-kernel path (RunLegacy) must agree
+// bit for bit: same hosts in the same order, same per-host page/byte
+// counts, same (entity, pages) rows, same stats — at every thread count.
+void ExpectIdenticalResults(const ScanResult& kernel,
+                            const ScanResult& legacy) {
+  ASSERT_EQ(kernel.table.num_hosts(), legacy.table.num_hosts());
+  for (size_t i = 0; i < kernel.table.num_hosts(); ++i) {
+    const HostRecord& k = kernel.table.host(i);
+    const HostRecord& l = legacy.table.host(i);
+    EXPECT_EQ(k.host, l.host);
+    EXPECT_EQ(k.pages_scanned, l.pages_scanned) << k.host;
+    EXPECT_EQ(k.bytes_scanned, l.bytes_scanned) << k.host;
+    ASSERT_EQ(k.entities.size(), l.entities.size()) << k.host;
+    for (size_t j = 0; j < k.entities.size(); ++j) {
+      EXPECT_EQ(k.entities[j].entity, l.entities[j].entity) << k.host;
+      EXPECT_EQ(k.entities[j].pages, l.entities[j].pages) << k.host;
+    }
+  }
+  EXPECT_EQ(kernel.stats.hosts_scanned, legacy.stats.hosts_scanned);
+  EXPECT_EQ(kernel.stats.pages_scanned, legacy.stats.pages_scanned);
+  EXPECT_EQ(kernel.stats.bytes_scanned, legacy.stats.bytes_scanned);
+  EXPECT_EQ(kernel.stats.entity_mentions, legacy.stats.entity_mentions);
+  EXPECT_EQ(kernel.stats.review_pages, legacy.stats.review_pages);
+  EXPECT_EQ(kernel.stats.skipped_urls, legacy.stats.skipped_urls);
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<Attribute> {};
+
+TEST_P(KernelEquivalenceTest, KernelMatchesLegacyAtEveryThreadCount) {
+  const Attribute attr = GetParam();
+  const SyntheticWeb web = MakeWeb(attr, 300, 200);
+  std::optional<ReviewDetector> detector;
+  if (attr == Attribute::kReviews) {
+    auto built = ReviewDetector::CreateDefault(99);
+    ASSERT_TRUE(built.ok());
+    detector.emplace(std::move(built).value());
+  }
+  const ReviewDetector* det = detector ? &*detector : nullptr;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const ScanPipeline pipeline(web, pool, det);
+    auto kernel = pipeline.Run();
+    auto legacy = pipeline.RunLegacy();
+    ASSERT_TRUE(kernel.ok() && legacy.ok());
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ExpectIdenticalResults(*kernel, *legacy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttributes, KernelEquivalenceTest,
+                         ::testing::Values(Attribute::kPhone,
+                                           Attribute::kHomepage,
+                                           Attribute::kIsbn,
+                                           Attribute::kReviews));
+
+class SteadyStateAllocationTest
+    : public ::testing::TestWithParam<Attribute> {};
+
+TEST_P(SteadyStateAllocationTest, RescanAllocatesNothing) {
+  // The kernel contract: once every scratch buffer has reached its
+  // watermark, scanning a host performs zero heap allocations. Warm up
+  // by scanning every host once (capacities climb to the corpus-wide
+  // maximum), then rescan with the allocation counter armed.
+  const SyntheticWeb web = MakeWeb(GetParam(), 200, 100);
+  const EntityMatcher matcher(web.catalog(), GetParam());
+  ScanScratch scratch;
+  HostRecord rec;
+  uint64_t mentions = 0, reviews = 0;
+  for (SiteId s = 0; s < web.num_hosts(); ++s) {
+    ScanHostPages(web, s, matcher, nullptr, &scratch, &rec, &mentions,
+                  &reviews);
+  }
+  ASSERT_GT(mentions, 0u);
+
+  uint64_t allocs = 0;
+  {
+    const AllocCountGuard guard;
+    for (SiteId s = 0; s < web.num_hosts(); ++s) {
+      ScanHostPages(web, s, matcher, nullptr, &scratch, &rec, &mentions,
+                    &reviews);
+    }
+    allocs = g_alloc_count;
+  }
+  EXPECT_EQ(allocs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(IdentifierAttributes, SteadyStateAllocationTest,
+                         ::testing::Values(Attribute::kPhone,
+                                           Attribute::kHomepage,
+                                           Attribute::kIsbn));
 
 TEST(ModelToHostTableTest, GroundTruthFastPathMatchesFullPipeline) {
   // The documented contract: for identifier attributes, analysis on the
