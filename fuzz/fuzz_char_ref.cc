@@ -1,0 +1,33 @@
+// Fuzzes HTML character-reference decoding. Differential against the
+// frozen per-character legacy decoder, plus the escape/decode round trip.
+
+#include <string>
+#include <string_view>
+
+#include "html/char_ref.h"
+
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Kernel (bulk find('&')) vs frozen legacy (per-character copy loop).
+  std::string decoded = wsd::html::DecodeCharRefs(input);
+  std::string legacy = wsd::html::DecodeCharRefsLegacy(input);
+  WSD_FUZZ_ASSERT(decoded == legacy);
+
+  // The appending variant appends exactly the decoded text.
+  std::string appended = "p|";
+  wsd::html::DecodeCharRefsInto(input, &appended);
+  WSD_FUZZ_ASSERT(appended == "p|" + decoded);
+
+  // Escaping never produces a string that decodes to something other
+  // than the original: DecodeCharRefs(EscapeHtml(s)) == s.
+  std::string escaped = wsd::html::EscapeHtml(input);
+  WSD_FUZZ_ASSERT(wsd::html::DecodeCharRefs(escaped) == std::string(input));
+  std::string escaped_into = "p|";
+  wsd::html::EscapeHtmlInto(input, &escaped_into);
+  WSD_FUZZ_ASSERT(escaped_into == "p|" + escaped);
+
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared entry-point shim for the fuzzing harnesses.
+//
+// Every harness defines
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// and builds in one of two modes (CMake option WSD_FUZZ_ENGINE):
+//
+//  * libfuzzer — clang's -fsanitize=fuzzer provides main(); the harness
+//    runs as a coverage-guided fuzzer over fuzz/corpus/<name>/.
+//  * regression (default, works with gcc) — this header provides a plain
+//    main() that replays every file passed on the command line (or the
+//    harness's checked-in seed corpus when invoked with no arguments) and
+//    exits 0 if no invariant aborts. This is what the CI fuzz-smoke job
+//    runs, so no clang-specific infra is needed to keep the corpora green.
+//
+// Invariant violations abort (WSD_FUZZ_ASSERT), so both engines surface
+// them the same way: a crash with the offending input on the command line.
+
+#ifndef WSD_FUZZ_FUZZ_DRIVER_H_
+#define WSD_FUZZ_FUZZ_DRIVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// Aborts with a message when a harness invariant fails. Deliberately not
+// assert(): it must fire in release builds, where the fuzzers run.
+#define WSD_FUZZ_ASSERT(cond)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz invariant failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#if !defined(WSD_FUZZ_USE_LIBFUZZER)
+
+namespace wsd_fuzz {
+
+inline int ReplayFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+// Replays `path` (a corpus directory or a single input file). Returns the
+// number of inputs replayed, or -1 on I/O failure.
+inline int ReplayPath(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // Sort for a deterministic replay order across filesystems.
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path().string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "fuzz: cannot list %s: %s\n", path.c_str(),
+                   ec.message().c_str());
+      return -1;
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) {
+      if (ReplayFile(f) != 0) return -1;
+    }
+    return static_cast<int>(files.size());
+  }
+  return ReplayFile(path) == 0 ? 1 : -1;
+}
+
+}  // namespace wsd_fuzz
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      int n = wsd_fuzz::ReplayPath(argv[i]);
+      if (n < 0) return 1;
+      replayed += n;
+    }
+  } else {
+#if defined(WSD_FUZZ_DEFAULT_CORPUS)
+    int n = wsd_fuzz::ReplayPath(WSD_FUZZ_DEFAULT_CORPUS);
+    if (n < 0) return 1;
+    replayed = n;
+#else
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-input-file>...\n", argv[0]);
+    return 2;
+#endif
+  }
+  std::fprintf(stderr, "fuzz: replayed %d inputs, all invariants held\n",
+               replayed);
+  return 0;
+}
+
+#endif  // !WSD_FUZZ_USE_LIBFUZZER
+
+#endif  // WSD_FUZZ_FUZZ_DRIVER_H_

@@ -1,0 +1,66 @@
+// Fuzzes the ISBN parse / validate / convert / format chain on arbitrary
+// bytes: separator stripping, both validators, the 10<->13 round trip,
+// and re-parse of every rendered style.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "entity/isbn.h"
+
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  std::string bare = wsd::StripIsbnSeparators(input);
+  WSD_FUZZ_ASSERT(bare.size() <= size);
+  std::string bare_into = "p|";
+  wsd::StripIsbnSeparatorsInto(input, &bare_into);
+  WSD_FUZZ_ASSERT(bare_into == "p|" + bare);
+
+  // Validators must be total over arbitrary bytes.
+  const bool v10 = wsd::IsValidIsbn10(bare);
+  const bool v13 = wsd::IsValidIsbn13(bare);
+
+  if (v10) {
+    std::optional<std::string> as13 = wsd::Isbn10To13(bare);
+    WSD_FUZZ_ASSERT(as13.has_value());
+    WSD_FUZZ_ASSERT(wsd::IsValidIsbn13(*as13));
+    // 978-prefixed ISBN-13s convert back to the identical ISBN-10
+    // (modulo check-digit case: 'x' validates but renders as 'X').
+    std::string canonical = bare;
+    if (canonical.back() == 'x') canonical.back() = 'X';
+    std::optional<std::string> back = wsd::Isbn13To10(*as13);
+    WSD_FUZZ_ASSERT(back.has_value() && *back == canonical);
+    // Check-digit helper agrees with the validator (the validator also
+    // accepts a lowercase final 'x').
+    const char check = wsd::Isbn10CheckDigit(bare.substr(0, 9));
+    WSD_FUZZ_ASSERT(check == bare[9] || (check == 'X' && bare[9] == 'x'));
+  }
+  if (v13) {
+    WSD_FUZZ_ASSERT(wsd::Isbn13CheckDigit(bare.substr(0, 12)) == bare[12]);
+    std::optional<std::string> as10 = wsd::Isbn13To10(bare);
+    if (as10.has_value()) {
+      WSD_FUZZ_ASSERT(wsd::IsValidIsbn10(*as10));
+      std::optional<std::string> back = wsd::Isbn10To13(*as10);
+      WSD_FUZZ_ASSERT(back.has_value() && *back == bare);
+      // Every display style round-trips through the separator stripper.
+      for (int s = 0; s < static_cast<int>(wsd::IsbnStyle::kNumStyles); ++s) {
+        const auto style = static_cast<wsd::IsbnStyle>(s);
+        std::string rendered = wsd::FormatIsbn(bare, style);
+        std::string rendered_into;
+        wsd::FormatIsbnInto(bare, style, &rendered_into);
+        WSD_FUZZ_ASSERT(rendered == rendered_into);
+        std::string reparsed = wsd::StripIsbnSeparators(rendered);
+        if (style == wsd::IsbnStyle::kBare10 ||
+            style == wsd::IsbnStyle::kHyphenated10) {
+          WSD_FUZZ_ASSERT(reparsed == *as10);
+        } else {
+          WSD_FUZZ_ASSERT(reparsed == bare);
+        }
+      }
+    }
+  }
+  return 0;
+}

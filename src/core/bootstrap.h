@@ -33,7 +33,7 @@ struct BootstrapResult {
 /// Runs the expansion from explicit seed entity ids. Seeds with no edges
 /// contribute nothing (like a seed entity absent from the Web). Fails if
 /// `seeds` is empty or contains an out-of-range id.
-StatusOr<BootstrapResult> RunBootstrap(const BipartiteGraph& graph,
+[[nodiscard]] StatusOr<BootstrapResult> RunBootstrap(const BipartiteGraph& graph,
                                        const std::vector<uint32_t>& seeds);
 
 /// Aggregate behavior over `trials` random seed sets of `seed_count`
@@ -48,7 +48,7 @@ struct BootstrapTrialStats {
   uint32_t trials_reaching_giant = 0;
 };
 
-StatusOr<BootstrapTrialStats> BootstrapRandomSeeds(
+[[nodiscard]] StatusOr<BootstrapTrialStats> BootstrapRandomSeeds(
     const BipartiteGraph& graph, uint32_t seed_count, uint32_t trials,
     Rng& rng);
 

@@ -31,7 +31,7 @@ struct GraphMetricsRow {
 /// components and runs the exact-diameter algorithm on the largest one.
 /// `pool` (optional) parallelizes the component labeling and the iFUB
 /// eccentricity loop; results are identical at any thread count.
-StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
+[[nodiscard]] StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
                                               const HostEntityTable& table,
                                               uint32_t num_entities,
                                               ThreadPool* pool = nullptr);

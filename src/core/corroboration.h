@@ -48,7 +48,7 @@ struct CorroborationPoint {
 /// Deterministic in `seed`; per-site error rates and per-(site, entity)
 /// report correctness are drawn from stable hash streams so the same
 /// site/entity pair reports identically at every t.
-StatusOr<std::vector<CorroborationPoint>> SimulateCorroboration(
+[[nodiscard]] StatusOr<std::vector<CorroborationPoint>> SimulateCorroboration(
     const HostEntityTable& table, uint32_t num_entities,
     const CorroborationOptions& options, std::vector<uint32_t> t_values,
     uint64_t seed);

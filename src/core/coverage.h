@@ -27,7 +27,7 @@ struct CoverageCurve {
 /// (`t_values` must be positive and strictly increasing). Values of t
 /// beyond the number of sites saturate at the full-web coverage. Single
 /// O(E + N) sweep.
-StatusOr<CoverageCurve> ComputeKCoverage(const HostEntityTable& table,
+[[nodiscard]] StatusOr<CoverageCurve> ComputeKCoverage(const HostEntityTable& table,
                                          uint32_t num_entities,
                                          uint32_t max_k,
                                          std::vector<uint32_t> t_values);

@@ -78,14 +78,14 @@ struct ValueAddOptions {
 /// Runs the Fig 7 + Fig 8 binned analyses. `reviews[i]` is entity i's
 /// review count; demands come from the estimator. Fails when the
 /// zero-review bin is empty (relative VA would be undefined).
-StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAdd(
+[[nodiscard]] StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAdd(
     const DemandTable& demand, const std::vector<uint32_t>& reviews,
     int max_bucket = 10);
 
 /// Variant with an explicit I_Δ choice (the paper argues the step
 /// alternative "would estimate even higher value-add of extracting a new
 /// review for tail entities" — verified by bench_fig8 and tests).
-StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAddWithOptions(
+[[nodiscard]] StatusOr<std::vector<ReviewBinStat>> AnalyzeValueAddWithOptions(
     const DemandTable& demand, const std::vector<uint32_t>& reviews,
     const ValueAddOptions& options);
 

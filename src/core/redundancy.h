@@ -35,7 +35,7 @@ struct RedundancyReport {
 
 /// Computes the report. `head_sites` bounds the O(h^2) overlap step
 /// (default 20 sites = 190 pairs). Fails on an empty table.
-StatusOr<RedundancyReport> AnalyzeRedundancy(const HostEntityTable& table,
+[[nodiscard]] StatusOr<RedundancyReport> AnalyzeRedundancy(const HostEntityTable& table,
                                              uint32_t num_entities,
                                              uint32_t head_sites = 20);
 

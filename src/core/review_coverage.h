@@ -22,7 +22,7 @@ struct PageCoverageCurve {
 
 /// Computes the page-level curve from a review scan's host table (where
 /// EntityPages::pages counts review pages).
-StatusOr<PageCoverageCurve> ComputePageCoverage(
+[[nodiscard]] StatusOr<PageCoverageCurve> ComputePageCoverage(
     const HostEntityTable& table, std::vector<uint32_t> t_values);
 
 }  // namespace wsd

@@ -26,7 +26,7 @@ struct SetCoverCurve {
 /// standard accelerated variant — gains only shrink, so stale entries are
 /// re-evaluated on pop) and the size-ordered baseline. `t_values` as in
 /// ComputeKCoverage.
-StatusOr<SetCoverCurve> GreedySetCover(const HostEntityTable& table,
+[[nodiscard]] StatusOr<SetCoverCurve> GreedySetCover(const HostEntityTable& table,
                                        uint32_t num_entities,
                                        std::vector<uint32_t> t_values);
 

@@ -56,14 +56,14 @@ class Study {
   ThreadPool& pool() { return *pool_; }
 
   /// §3.1 cache scan for one (domain, attribute).
-  StatusOr<ScanResult> RunScan(Domain domain, Attribute attr);
+  [[nodiscard]] StatusOr<ScanResult> RunScan(Domain domain, Attribute attr);
 
   /// Figures 1-3: scan + k-coverage curves.
   struct SpreadResult {
     CoverageCurve curve;
     ScanStats stats;
   };
-  StatusOr<SpreadResult> RunSpread(Domain domain, Attribute attr,
+  [[nodiscard]] StatusOr<SpreadResult> RunSpread(Domain domain, Attribute attr,
                                    uint32_t max_k = 10);
 
   /// Figure 4: restaurant review spread, site-level (a) and page-level
@@ -73,16 +73,16 @@ class Study {
     PageCoverageCurve page_curve;
     ScanStats stats;
   };
-  StatusOr<ReviewSpreadResult> RunReviewSpread(uint32_t max_k = 10);
+  [[nodiscard]] StatusOr<ReviewSpreadResult> RunReviewSpread(uint32_t max_k = 10);
 
   /// Figure 5: greedy set cover vs. size ordering.
-  StatusOr<SetCoverCurve> RunSetCover(Domain domain, Attribute attr);
+  [[nodiscard]] StatusOr<SetCoverCurve> RunSetCover(Domain domain, Attribute attr);
 
   /// Table 2 row for one graph.
-  StatusOr<GraphMetricsRow> RunGraphMetrics(Domain domain, Attribute attr);
+  [[nodiscard]] StatusOr<GraphMetricsRow> RunGraphMetrics(Domain domain, Attribute attr);
 
   /// Figure 9 sweep for one graph.
-  StatusOr<std::vector<RobustnessPoint>> RunRobustness(
+  [[nodiscard]] StatusOr<std::vector<RobustnessPoint>> RunRobustness(
       Domain domain, Attribute attr, uint32_t max_removed = 10);
 
   /// §4 value-of-tail-extraction study for one traffic site: generate
@@ -97,11 +97,11 @@ class Study {
     double head20_search = 0.0;  // top-20% demand share
     double head20_browse = 0.0;
   };
-  StatusOr<ValueStudyResult> RunValueStudy(TrafficSite site);
+  [[nodiscard]] StatusOr<ValueStudyResult> RunValueStudy(TrafficSite site);
 
   /// Builds the synthetic web used by the scans (exposed for examples
   /// and tests that need the ground truth).
-  StatusOr<SyntheticWeb> BuildWeb(Domain domain, Attribute attr) const;
+  [[nodiscard]] StatusOr<SyntheticWeb> BuildWeb(Domain domain, Attribute attr) const;
 
  private:
   StudyOptions options_;

@@ -85,7 +85,7 @@ class SiteEntityModel {
  public:
   /// Builds the assignment for `catalog` under `params`. Deterministic in
   /// `seed`.
-  static StatusOr<SiteEntityModel> Build(const DomainCatalog& catalog,
+  [[nodiscard]] static StatusOr<SiteEntityModel> Build(const DomainCatalog& catalog,
                                          const SpreadParams& params,
                                          uint64_t seed);
 

@@ -33,7 +33,7 @@ class SyntheticWeb {
     PageGenOptions page_options;  // .attr is forced to `attr`
   };
 
-  static StatusOr<SyntheticWeb> Create(const Config& config);
+  [[nodiscard]] static StatusOr<SyntheticWeb> Create(const Config& config);
 
   SyntheticWeb(SyntheticWeb&&) noexcept = default;
   SyntheticWeb& operator=(SyntheticWeb&&) noexcept = default;
@@ -76,9 +76,9 @@ class SyntheticWeb {
 /// lengths followed by URL and HTML bytes).
 class WebCacheWriter {
  public:
-  Status Open(const std::string& path);
-  Status Append(const Page& page);
-  Status Close();
+  [[nodiscard]] Status Open(const std::string& path);
+  [[nodiscard]] Status Append(const Page& page);
+  [[nodiscard]] Status Close();
   uint64_t pages_written() const { return pages_written_; }
 
  private:
@@ -88,7 +88,7 @@ class WebCacheWriter {
 };
 
 /// Reads a WebCacheWriter file, invoking `sink` per page in order.
-Status ReadWebCache(const std::string& path,
+[[nodiscard]] Status ReadWebCache(const std::string& path,
                     const std::function<void(const Page&)>& sink);
 
 }  // namespace wsd

@@ -39,7 +39,7 @@ struct Entity {
 class DomainCatalog {
  public:
   /// Builds a catalog of `size` entities. `size` >= 1.
-  static StatusOr<DomainCatalog> Build(Domain domain, uint32_t size,
+  [[nodiscard]] static StatusOr<DomainCatalog> Build(Domain domain, uint32_t size,
                                        uint64_t seed);
 
   Domain domain() const { return domain_; }

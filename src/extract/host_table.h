@@ -63,8 +63,8 @@ class HostEntityTable {
   size_t PruneEmptyHosts();
 
   /// TSV persistence: "host<TAB>entity:pages,entity:pages,...".
-  Status WriteTsv(const std::string& path) const;
-  static StatusOr<HostEntityTable> ReadTsv(const std::string& path);
+  [[nodiscard]] Status WriteTsv(const std::string& path) const;
+  [[nodiscard]] static StatusOr<HostEntityTable> ReadTsv(const std::string& path);
 
  private:
   std::vector<HostRecord> hosts_;

@@ -20,7 +20,7 @@ class ReviewDetector {
 
   /// Builds a detector trained on the synthetic review/boilerplate corpus.
   /// Deterministic in `seed`.
-  static StatusOr<ReviewDetector> CreateDefault(uint64_t seed);
+  [[nodiscard]] static StatusOr<ReviewDetector> CreateDefault(uint64_t seed);
 
   /// True if `visible_text` reads as review content.
   bool IsReview(std::string_view visible_text) const;

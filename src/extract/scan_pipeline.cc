@@ -216,6 +216,7 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
   return result;
 }
 
+// WSD_FROZEN_BEGIN(scan_run_legacy)
 StatusOr<ScanResult> ScanPipeline::RunLegacy() const {
   const Attribute attr = web_.config().attr;
   if (attr == Attribute::kReviews && detector_ == nullptr) {
@@ -306,6 +307,7 @@ StatusOr<ScanResult> ScanPipeline::RunLegacy() const {
   MirrorScanStats(result.stats, attr);
   return result;
 }
+// WSD_FROZEN_END(scan_run_legacy)
 
 StatusOr<ScanResult> ScanCacheFile(const std::string& path,
                                    const DomainCatalog& catalog,

@@ -89,14 +89,14 @@ class ScanPipeline {
   /// Runs the scan with the streaming kernel (one ScanScratch per shard,
   /// zero steady-state allocation per page). Fails if a review scan
   /// lacks a detector.
-  StatusOr<ScanResult> Run() const;
+  [[nodiscard]] StatusOr<ScanResult> Run() const;
 
   /// The pre-kernel implementation: value-returning extractors, per-page
   /// string/vector materialization and a per-host std::map. Kept as the
   /// ablation baseline for bench_micro_scan and as the oracle for the
   /// kernel equivalence tests — both paths must produce bit-identical
   /// tables and stats.
-  StatusOr<ScanResult> RunLegacy() const;
+  [[nodiscard]] StatusOr<ScanResult> RunLegacy() const;
 
  private:
   const SyntheticWeb& web_;
@@ -110,7 +110,7 @@ class ScanPipeline {
 /// URLs are counted in stats and skipped. Single-threaded streaming (the
 /// file is the bottleneck) on the same ScanScratch kernel as
 /// ScanPipeline::Run. A detector is required for review scans.
-StatusOr<ScanResult> ScanCacheFile(const std::string& path,
+[[nodiscard]] StatusOr<ScanResult> ScanCacheFile(const std::string& path,
                                    const DomainCatalog& catalog,
                                    Attribute attr,
                                    const ReviewDetector* detector = nullptr);

@@ -133,6 +133,7 @@ void DecodeCharRefsInto(std::string_view s, std::string* out) {
   }
 }
 
+// WSD_FROZEN_BEGIN(char_ref_legacy)
 std::string DecodeCharRefsLegacy(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -150,6 +151,7 @@ std::string DecodeCharRefsLegacy(std::string_view s) {
   }
   return out;
 }
+// WSD_FROZEN_END(char_ref_legacy)
 
 std::string EscapeHtml(std::string_view s) {
   std::string out;

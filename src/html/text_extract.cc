@@ -55,6 +55,7 @@ bool IsBlockBoundary(std::string_view tag) {
 // Pre-kernel block-boundary check: linear probe over the block list.
 // Token names from Tokenizer::Next are already lowercased. Kept verbatim
 // as the ablation baseline; do not optimize.
+// WSD_FROZEN_BEGIN(block_boundary_legacy)
 bool LegacyIsBlockBoundary(std::string_view tag) {
   for (std::string_view block :
        {"p", "div", "li", "ul", "ol", "table", "tr", "td", "th", "br",
@@ -63,6 +64,7 @@ bool LegacyIsBlockBoundary(std::string_view tag) {
   }
   return false;
 }
+// WSD_FROZEN_END(block_boundary_legacy)
 
 void AppendBoundary(std::string* out) {
   if (!out->empty() && out->back() != ' ') out->push_back(' ');
@@ -127,6 +129,11 @@ std::string ExtractVisibleText(std::string_view page_html) {
 void ExtractVisibleTextInto(std::string_view page_html, std::string* out) {
   const std::string_view s = page_html;
   size_t pos = 0;
+  // True between a raw-text (<script>/<style>) skip and the next complete
+  // tag. The tokenizer suppresses text tokens in that window, so the
+  // unterminated-tag-at-EOF recovery below must not emit text either
+  // (e.g. a page ending in "...</script" with no '>').
+  bool in_raw_text = false;
   while (pos < s.size()) {
     if (s[pos] != '<') {
       // Text run up to the next tag.
@@ -161,8 +168,9 @@ void ExtractVisibleTextInto(std::string_view page_html, std::string* out) {
                           ? name_end
                           : FindTagEnd(s, name_end);
     if (gt == std::string_view::npos) {
-      // Unterminated tag at EOF: the rest is text.
-      DecodeCharRefsInto(s.substr(pos), out);
+      // Unterminated tag at EOF: the rest is text (unless still in
+      // raw-text context, where the tokenizer drops it).
+      if (!in_raw_text) DecodeCharRefsInto(s.substr(pos), out);
       return;
     }
     const std::string_view name =
@@ -170,6 +178,7 @@ void ExtractVisibleTextInto(std::string_view page_html, std::string* out) {
     const bool self_closing = !is_end_tag && gt > name_end &&
                               s[gt - 1] == '/';
     pos = gt + 1;
+    in_raw_text = false;  // any complete tag ends raw-text context
     if (IsBlockBoundary(name)) AppendBoundary(out);
     if (!is_end_tag && !self_closing &&
         (name[0] == 's' || name[0] == 'S')) {
@@ -184,6 +193,7 @@ void ExtractVisibleTextInto(std::string_view page_html, std::string* out) {
       if (!close_needle.empty()) {
         const size_t close = FindCaseInsensitive(s, close_needle, pos);
         pos = close == std::string_view::npos ? s.size() : close;
+        in_raw_text = true;
       }
     }
   }
@@ -191,6 +201,7 @@ void ExtractVisibleTextInto(std::string_view page_html, std::string* out) {
 
 namespace {
 
+// WSD_FROZEN_BEGIN(text_extract_legacy)
 // The tokenizer as it existed before the scan-kernel rewrite, kept
 // verbatim as the ablation baseline for ExtractVisibleTextLegacy: every
 // token is materialized (lower-cased names via ToLower temporaries,
@@ -377,6 +388,7 @@ std::string ExtractVisibleTextLegacy(std::string_view page_html) {
   }
   return out;
 }
+// WSD_FROZEN_END(text_extract_legacy)
 
 std::vector<AnchorLink> ExtractAnchors(std::string_view page_html) {
   Tokenizer tokenizer(page_html);

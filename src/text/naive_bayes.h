@@ -27,7 +27,7 @@ class NaiveBayesClassifier {
   /// Finalizes per-token log-probabilities. Must be called after all
   /// Train() calls and before Predict*/Save. Returns an error if either
   /// class has no training documents.
-  Status Finalize();
+  [[nodiscard]] Status Finalize();
 
   /// Log-odds log P(positive|doc) - log P(negative|doc) up to the shared
   /// evidence term. Positive => classify as review.
@@ -45,8 +45,8 @@ class NaiveBayesClassifier {
   }
 
   /// Serialization: a versioned TSV-ish text format.
-  Status Save(const std::string& path) const;
-  static StatusOr<NaiveBayesClassifier> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static StatusOr<NaiveBayesClassifier> Load(const std::string& path);
 
   bool finalized() const { return finalized_; }
   size_t vocabulary_size() const { return vocab_.size(); }

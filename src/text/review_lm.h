@@ -43,7 +43,7 @@ std::vector<LabeledDoc> MakeTrainingCorpus(Rng& rng, size_t per_class);
 
 /// Trains the review detector used by the extraction pipeline on a
 /// freshly generated corpus. Deterministic in `seed`.
-StatusOr<NaiveBayesClassifier> TrainReviewClassifier(uint64_t seed,
+[[nodiscard]] StatusOr<NaiveBayesClassifier> TrainReviewClassifier(uint64_t seed,
                                                      size_t per_class = 400);
 
 }  // namespace text

@@ -20,13 +20,13 @@ class CsvWriter {
   explicit CsvWriter(char separator = '\t') : sep_(separator) {}
 
   /// Opens `path` for writing, truncating.
-  Status Open(const std::string& path);
+  [[nodiscard]] Status Open(const std::string& path);
 
   /// Writes one record. No-op failure is surfaced by Close().
   void WriteRow(const std::vector<std::string>& fields);
 
   /// Flushes and closes; returns an error if any write failed.
-  Status Close();
+  [[nodiscard]] Status Close();
 
   bool is_open() const { return out_.is_open(); }
 
@@ -44,7 +44,7 @@ std::vector<std::string> ParseCsvLine(std::string_view line, char sep);
 
 /// Reads an entire CSV/TSV file into rows of fields. Lines are split on
 /// '\n'; a trailing '\r' is stripped. Empty trailing line is ignored.
-StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+[[nodiscard]] StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char sep);
 
 }  // namespace wsd

@@ -35,7 +35,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// `Status` is cheap to copy in the OK case (no allocation) and carries an
 /// explanatory message otherwise.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status hides I/O and validation
+/// failures, so discarding any Status-returning call is a compile warning
+/// (and a wsd_lint.py error). Callers that genuinely want to ignore an
+/// error must say so: `status.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -48,32 +53,32 @@ class Status {
   Status(Status&&) noexcept = default;
   Status& operator=(Status&&) noexcept = default;
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -90,6 +95,10 @@ class Status {
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
+
+  /// Explicitly discards the status. The only sanctioned way to ignore an
+  /// error — greppable, and exempt from the discarded-result lint.
+  void IgnoreError() const {}
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

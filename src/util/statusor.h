@@ -15,8 +15,11 @@ namespace wsd {
 ///
 /// Accessors `value()`/`operator*` must only be called when `ok()`; this is
 /// checked with assert in debug builds.
+///
+/// `[[nodiscard]]`: discarding a StatusOr drops both the value and the
+/// error; every producer call site must consume or propagate it.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Constructing from an OK status is a
   /// programming error (there would be no value); it is coerced to

@@ -214,6 +214,68 @@ TEST(TextExtractTest, AnchorHrefEntityDecoded) {
   EXPECT_EQ(anchors[0].href, "http://x.com/?a=1&b=2");
 }
 
+// ---------- fuzzer-found edge cases ----------
+// Inputs from fuzz/corpus/ that once crashed a harness or split the
+// kernel from the frozen legacy oracle. Each is pinned here in addition
+// to its corpus seed.
+
+TEST(CharRefTest, TruncatedReferencesAtEndOfInput) {
+  // A reference cut off at EOF is passed through verbatim, never read
+  // past the buffer.
+  EXPECT_EQ(DecodeCharRefs("&"), "&");
+  EXPECT_EQ(DecodeCharRefs("&am"), "&am");
+  EXPECT_EQ(DecodeCharRefs("&amp"), "&amp");
+  EXPECT_EQ(DecodeCharRefs("&#"), "&#");
+  EXPECT_EQ(DecodeCharRefs("&#x"), "&#x");
+  EXPECT_EQ(DecodeCharRefs("&#1"), "&#1");
+  EXPECT_EQ(DecodeCharRefs("tail&"), "tail&");
+}
+
+TEST(CharRefTest, NestedAndAdjacentReferences) {
+  // Decoding is single-pass: the output of one reference never seeds
+  // another ("&amp;amp;" is "&amp;", not "&").
+  EXPECT_EQ(DecodeCharRefs("&amp;amp;"), "&amp;");
+  EXPECT_EQ(DecodeCharRefs("&amp;#38;"), "&#38;");
+  EXPECT_EQ(DecodeCharRefs("&#38;#38;"), "&#38;");
+  EXPECT_EQ(DecodeCharRefs("&&&amp;;"), "&&&;");
+}
+
+TEST(CharRefTest, KernelMatchesLegacyOnHostileInputs) {
+  const std::string cases[] = {
+      "&am&amp&;&#&#x&#xG;&unknown;&&&amp;;",
+      "&#0;&#1114111;&#1114112;&#xD800;&#xFFFFFFFFFF;",
+      std::string("\xff\xfe&\x00#x41;", 8),  // NUL inside a reference
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(DecodeCharRefs(s), DecodeCharRefsLegacy(s)) << s;
+  }
+}
+
+TEST(TextExtractTest, UnterminatedScriptCloseTagIsDropped) {
+  // Fuzzer-found kernel/legacy divergence: a page ending in "</script"
+  // (no '>') is still raw-text context — the tokenizer suppresses the
+  // trailing fragment, so the kernel must too.
+  const std::string_view page = "<p>text</p><script>var x = 1;</script";
+  EXPECT_EQ(ExtractVisibleText(page), ExtractVisibleTextLegacy(page));
+  EXPECT_EQ(ExtractVisibleText(page).find("</script"), std::string::npos);
+  const std::string_view style = "<div>a</div><style>p{}</style";
+  EXPECT_EQ(ExtractVisibleText(style), ExtractVisibleTextLegacy(style));
+}
+
+TEST(TextExtractTest, UnterminatedOrdinaryTagBecomesText) {
+  // Outside raw-text context the tokenizer's recovery emits the
+  // unterminated tag as text; kernel and legacy agree on that too.
+  const std::string_view page = "<p>hello</p><div class=\"x";
+  EXPECT_EQ(ExtractVisibleText(page), ExtractVisibleTextLegacy(page));
+  EXPECT_NE(ExtractVisibleText(page).find("<div"), std::string::npos);
+}
+
+TEST(TextExtractTest, EmptyRawTextThenUnterminatedClose) {
+  const std::string_view page = "<script></script";
+  EXPECT_EQ(ExtractVisibleText(page), ExtractVisibleTextLegacy(page));
+  EXPECT_EQ(ExtractVisibleText(page), "");
+}
+
 TEST(TextExtractTest, NestedAnchorRecovery) {
   const auto anchors = ExtractAnchors(
       "<a href=\"http://a.com/\">first <a href=\"http://b.com/\">second"

@@ -135,5 +135,57 @@ TEST(IsbnExtractorTest, FindsMultiple) {
   EXPECT_EQ(matches[1].isbn13, "9780306406157");  // same book, 10->13
 }
 
+// ---------- fuzzer-found edge cases (see fuzz/corpus/isbn) ----------
+
+TEST(IsbnTest, EmbeddedNulBytesNeverValidate) {
+  // A NUL inside a candidate must not be skipped over or terminate the
+  // scan early: the string is taken at its full length and rejected.
+  const std::string nul13("9780975\x00""29804", 13);
+  EXPECT_FALSE(IsValidIsbn13(nul13));
+  EXPECT_FALSE(IsValidIsbn10(std::string("09752298\x00X", 10)));
+  EXPECT_EQ(StripIsbnSeparators(nul13), nul13);  // NUL is not a separator
+}
+
+TEST(IsbnExtractorTest, EmbeddedNulSplitsCandidates) {
+  // The NUL is not an ISBN body character, so the digit run is split and
+  // neither fragment validates.
+  const std::string text("ISBN 9780975\x00""229804 end", 22);
+  EXPECT_TRUE(ExtractIsbns(text).empty());
+  // With the NUL before the candidate the match itself is unaffected.
+  const std::string ok("ISBN \x00 9780975229804", 20);
+  const auto matches = ExtractIsbns(ok);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].isbn13, "9780975229804");
+}
+
+TEST(IsbnExtractorTest, OverlongHyphenationGroupsStillMatch) {
+  // Hyphenation groups are display sugar; any grouping of the 13 digits
+  // strips to the same bare ISBN.
+  const auto matches =
+      ExtractIsbns("ISBN 97-8-0-9-7-5-2-2-9-8-0-4");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].isbn13, "9780975229804");
+}
+
+TEST(IsbnExtractorTest, TrailingHyphenRunAtEndOfBuffer) {
+  // A candidate ending in hyphens at EOF trims them before validating
+  // and never reads past the buffer.
+  const auto matches = ExtractIsbns("ISBN 9780975229804---");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].isbn13, "9780975229804");
+  EXPECT_TRUE(ExtractIsbns("ISBN 97809752298---").empty());
+}
+
+TEST(IsbnTest, CheckDigitHelpersRejectNothingButNeverCrash) {
+  // Helpers require exact-length digit bodies; adversarial lengths go
+  // through the validators, which are total.
+  EXPECT_FALSE(IsValidIsbn10(""));
+  EXPECT_FALSE(IsValidIsbn13(""));
+  EXPECT_FALSE(IsValidIsbn10("X"));
+  EXPECT_FALSE(IsValidIsbn13("97809752298040"));  // 14 digits
+  EXPECT_TRUE(IsValidIsbn10("097522980x"));       // lowercase x accepted
+  EXPECT_EQ(Isbn10To13("097522980x"), Isbn10To13("097522980X"));
+}
+
 }  // namespace
 }  // namespace wsd

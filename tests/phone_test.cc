@@ -94,5 +94,51 @@ INSTANTIATE_TEST_SUITE_P(
                       PhoneFormat::kDotted, PhoneFormat::kSpaced,
                       PhoneFormat::kPlusOne, PhoneFormat::kBare));
 
+// ---------- fuzzer-found edge cases (see fuzz/corpus/extractors) ----------
+
+TEST(PhoneExtractorTest, CandidateAtExactBufferBoundaries) {
+  // A match flush against the end of the buffer: the digit-boundary
+  // check must not read one past the end.
+  auto at_end = ExtractPhones("call 415-555-0134");
+  ASSERT_EQ(at_end.size(), 1u);
+  EXPECT_EQ(at_end[0].digits, "4155550134");
+
+  // The buffer IS the candidate, bare and formatted.
+  EXPECT_EQ(ExtractPhones("4155550134").size(), 1u);
+  EXPECT_EQ(ExtractPhones("(415) 555-0134").size(), 1u);
+  EXPECT_EQ(ExtractPhones("+1(415) 555-0134").size(), 1u);
+
+  // Truncated candidates at EOF never match or crash.
+  EXPECT_TRUE(ExtractPhones("415-555-013").empty());
+  EXPECT_TRUE(ExtractPhones("415-555-").empty());
+  EXPECT_TRUE(ExtractPhones("(415) 555").empty());
+  EXPECT_TRUE(ExtractPhones("(415").empty());
+  EXPECT_TRUE(ExtractPhones("+1").empty());
+  EXPECT_TRUE(ExtractPhones("+").empty());
+  EXPECT_TRUE(ExtractPhones("415555013").empty());
+}
+
+TEST(PhoneExtractorTest, DigitRunBoundariesRejectEmbeddedMatches) {
+  // A 10-digit window inside a longer identifier is not a phone.
+  EXPECT_TRUE(ExtractPhones("41555501349").empty());
+  EXPECT_TRUE(ExtractPhones("94155550134").empty());
+  // ...but punctuation re-establishes a boundary.
+  EXPECT_EQ(ExtractPhones("id:4155550134.").size(), 1u);
+}
+
+TEST(PhoneExtractorTest, SinkVariantMatchesVectorVariant) {
+  const std::string text(
+      "a 415-555-0134 b (415) 555-0199 c +1 415 555 0101 d 4155550134");
+  const auto expected = ExtractPhones(text);
+  size_t i = 0;
+  ExtractPhonesInto(text, [&](const PhoneMatch& m) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(m.digits, expected[i].digits);
+    EXPECT_EQ(m.offset, expected[i].offset);
+    ++i;
+  });
+  EXPECT_EQ(i, expected.size());
+}
+
 }  // namespace
 }  // namespace wsd

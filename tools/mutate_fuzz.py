@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tiny mutation fuzzer for the regression-runner harnesses.
+
+libFuzzer needs clang; this gives gcc-only environments a way to shake the
+parsing surface anyway: take the checked-in seed corpus, apply cheap random
+mutations (byte flips, splices, truncations, magic-token insertions), and
+replay batches through a harness binary. Any batch that crashes is bisected
+to a single input, which is written next to the corpus as crash-<sha8> so
+it can be committed as a regression seed.
+
+Usage:
+  tools/mutate_fuzz.py BINARY CORPUS_DIR [--iters N] [--seed S] [--batch B]
+"""
+
+import argparse
+import hashlib
+import os
+import random
+import subprocess
+import sys
+import tempfile
+
+MAGIC = [
+    b"&", b"&#", b"&#x", b"&amp;", b"&amp", b";", b"<", b">", b"</", b"/>",
+    b"<script>", b"</script>", b"<style>", b"<!--", b"-->", b"<![CDATA[",
+    b"ISBN", b"isbn", b"978", b"979", b"X", b"\x00", b"\xff", b'"', b"''",
+    b",", b"\t", b"\r\n", b"\n", b'""', b"(415) 555-0134", b"+1",
+    b"97-8", b"0-9752298-0-X", b"&#1114112;", b"&#xD800;", b"1" * 16,
+]
+
+
+def mutate(data: bytes, rng: random.Random) -> bytes:
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        op = rng.randrange(5)
+        if op == 0 and out:  # flip a byte
+            out[rng.randrange(len(out))] = rng.randrange(256)
+        elif op == 1 and out:  # delete a span
+            i = rng.randrange(len(out))
+            del out[i:i + rng.randint(1, 8)]
+        elif op == 2:  # insert a magic token
+            i = rng.randrange(len(out) + 1)
+            out[i:i] = rng.choice(MAGIC)
+        elif op == 3 and out:  # duplicate a span
+            i = rng.randrange(len(out))
+            span = out[i:i + rng.randint(1, 16)]
+            j = rng.randrange(len(out) + 1)
+            out[j:j] = span
+        elif op == 4 and out:  # truncate
+            del out[rng.randrange(len(out)):]
+    return bytes(out)
+
+
+def replay(binary: str, paths) -> bool:
+    """True iff the harness exits 0 on these inputs."""
+    res = subprocess.run([binary, *paths], stdout=subprocess.DEVNULL,
+                         stderr=subprocess.DEVNULL)
+    return res.returncode == 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary")
+    ap.add_argument("corpus")
+    ap.add_argument("--iters", type=int, default=2000)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--batch", type=int, default=50)
+    args = ap.parse_args()
+
+    seeds = []
+    for name in sorted(os.listdir(args.corpus)):
+        path = os.path.join(args.corpus, name)
+        if os.path.isfile(path) and not name.startswith("crash-"):
+            with open(path, "rb") as f:
+                seeds.append(f.read())
+    if not seeds:
+        print("no seeds in corpus", file=sys.stderr)
+        return 2
+
+    rng = random.Random(args.seed)
+    crashes = 0
+    done = 0
+    with tempfile.TemporaryDirectory(prefix="wsd_mutfuzz_") as tmp:
+        while done < args.iters:
+            batch = []
+            for i in range(min(args.batch, args.iters - done)):
+                data = mutate(rng.choice(seeds), rng)
+                p = os.path.join(tmp, f"in{i:04d}")
+                with open(p, "wb") as f:
+                    f.write(data)
+                batch.append(p)
+            done += len(batch)
+            if replay(args.binary, batch):
+                continue
+            # Bisect the failing batch to single inputs.
+            for p in batch:
+                if replay(args.binary, [p]):
+                    continue
+                with open(p, "rb") as f:
+                    data = f.read()
+                tag = hashlib.sha256(data).hexdigest()[:8]
+                crash_path = os.path.join(args.corpus, f"crash-{tag}")
+                with open(crash_path, "wb") as f:
+                    f.write(data)
+                print(f"CRASH reproduced by single input -> {crash_path}")
+                crashes += 1
+    print(f"mutate_fuzz: {done} inputs, {crashes} crash(es)")
+    return 1 if crashes else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
