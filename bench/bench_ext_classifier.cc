@@ -47,11 +47,13 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> tp(thresholds.size(), 0), fp(thresholds.size(), 0),
       fn(thresholds.size(), 0), tn(thresholds.size(), 0);
   uint64_t pages = 0;
+  std::string text;
   for (SiteId s = 0; s < web->num_hosts(); ++s) {
     web->GeneratePages(s, [&](const Page& page, const PageTruth& truth) {
       ++pages;
-      const double score =
-          detector->Score(html::ExtractVisibleText(page.html));
+      text.clear();
+      html::ExtractVisibleTextInto(page.html, &text);
+      const double score = detector->Score(text);
       for (size_t i = 0; i < thresholds.size(); ++i) {
         const bool predicted = score > thresholds[i];
         if (predicted && truth.is_review_page) ++tp[i];

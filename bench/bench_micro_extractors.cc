@@ -25,6 +25,17 @@ struct Corpus {
   std::vector<std::string> pages;
   uint64_t total_bytes = 0;
 
+  // Visible text of every page, via the sink-style kernel API.
+  std::vector<std::string> Texts() const {
+    std::vector<std::string> out;
+    for (const std::string& page : pages) {
+      std::string text;
+      html::ExtractVisibleTextInto(page, &text);
+      out.push_back(std::move(text));
+    }
+    return out;
+  }
+
   static Corpus Make(Attribute attr) {
     SyntheticWeb::Config config;
     config.domain =
@@ -63,9 +74,12 @@ BENCHMARK(BM_HtmlTokenize);
 
 void BM_VisibleText(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kPhone);
+  std::string text;
   for (auto _ : state) {
     for (const std::string& page : corpus.pages) {
-      benchmark::DoNotOptimize(html::ExtractVisibleText(page));
+      text.clear();
+      html::ExtractVisibleTextInto(page, &text);
+      benchmark::DoNotOptimize(text);
     }
   }
   state.SetBytesProcessed(static_cast<int64_t>(corpus.total_bytes) *
@@ -75,18 +89,14 @@ BENCHMARK(BM_VisibleText);
 
 void BM_PhoneExtract(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kPhone);
-  static std::vector<std::string> texts = [] {
-    std::vector<std::string> out;
-    for (const std::string& page : corpus.pages) {
-      out.push_back(html::ExtractVisibleText(page));
-    }
-    return out;
-  }();
+  static const std::vector<std::string> texts = corpus.Texts();
   uint64_t bytes = 0;
   for (const auto& t : texts) bytes += t.size();
   for (auto _ : state) {
     for (const std::string& text : texts) {
-      benchmark::DoNotOptimize(ExtractPhones(text));
+      size_t matches = 0;
+      ExtractPhonesInto(text, [&](const PhoneMatch&) { ++matches; });
+      benchmark::DoNotOptimize(matches);
     }
   }
   state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
@@ -95,18 +105,14 @@ BENCHMARK(BM_PhoneExtract);
 
 void BM_IsbnExtract(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kIsbn);
-  static std::vector<std::string> texts = [] {
-    std::vector<std::string> out;
-    for (const std::string& page : corpus.pages) {
-      out.push_back(html::ExtractVisibleText(page));
-    }
-    return out;
-  }();
+  static const std::vector<std::string> texts = corpus.Texts();
   uint64_t bytes = 0;
   for (const auto& t : texts) bytes += t.size();
   for (auto _ : state) {
     for (const std::string& text : texts) {
-      benchmark::DoNotOptimize(ExtractIsbns(text));
+      size_t matches = 0;
+      ExtractIsbnsInto(text, [&](const IsbnMatch&) { ++matches; });
+      benchmark::DoNotOptimize(matches);
     }
   }
   state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
@@ -116,17 +122,12 @@ BENCHMARK(BM_IsbnExtract);
 // Ablation: hash-index identifier matching vs. a linear catalog scan.
 void BM_MatchHashIndex(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kPhone);
-  static std::vector<std::string> texts = [] {
-    std::vector<std::string> out;
-    for (const std::string& page : corpus.pages) {
-      out.push_back(html::ExtractVisibleText(page));
-    }
-    return out;
-  }();
+  static const std::vector<std::string> texts = corpus.Texts();
   const EntityMatcher matcher(corpus.web.catalog(), Attribute::kPhone);
+  MatchScratch scratch;
   for (auto _ : state) {
     for (const std::string& text : texts) {
-      benchmark::DoNotOptimize(matcher.MatchPage(text));
+      benchmark::DoNotOptimize(matcher.MatchPageInto(text, &scratch));
     }
   }
 }
@@ -134,25 +135,19 @@ BENCHMARK(BM_MatchHashIndex);
 
 void BM_MatchLinearScan(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kPhone);
-  static std::vector<std::string> texts = [] {
-    std::vector<std::string> out;
-    for (const std::string& page : corpus.pages) {
-      out.push_back(html::ExtractVisibleText(page));
-    }
-    return out;
-  }();
+  static const std::vector<std::string> texts = corpus.Texts();
   const auto& entities = corpus.web.catalog().entities();
   for (auto _ : state) {
     for (const std::string& text : texts) {
       std::vector<EntityId> ids;
-      for (const PhoneMatch& m : ExtractPhones(text)) {
+      ExtractPhonesInto(text, [&](const PhoneMatch& m) {
         for (const Entity& e : entities) {
           if (e.phone.digits() == m.digits) {
             ids.push_back(e.id);
             break;
           }
         }
-      }
+      });
       benchmark::DoNotOptimize(ids);
     }
   }
@@ -162,13 +157,7 @@ BENCHMARK(BM_MatchLinearScan)->Iterations(1);
 
 void BM_ReviewDetector(benchmark::State& state) {
   static const Corpus corpus = Corpus::Make(Attribute::kPhone);
-  static std::vector<std::string> texts = [] {
-    std::vector<std::string> out;
-    for (const std::string& page : corpus.pages) {
-      out.push_back(html::ExtractVisibleText(page));
-    }
-    return out;
-  }();
+  static const std::vector<std::string> texts = corpus.Texts();
   static const ReviewDetector* detector = [] {
     auto built = ReviewDetector::CreateDefault(7);
     return new ReviewDetector(std::move(built).value());

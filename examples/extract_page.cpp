@@ -58,21 +58,22 @@ int main(int argc, char** argv) {
             << html.substr(0, 800)
             << (html.size() > 800 ? "\n...[truncated]\n" : "\n");
 
-  const std::string text = wsd::html::ExtractVisibleText(html);
+  std::string text;
+  wsd::html::ExtractVisibleTextInto(html, &text);
   std::cout << "\n--- visible text ---\n"
             << text.substr(0, 500)
             << (text.size() > 500 ? " ...[truncated]\n" : "\n");
 
   std::cout << "\n--- phone candidates ---\n";
-  for (const auto& match : wsd::ExtractPhones(text)) {
+  wsd::ExtractPhonesInto(text, [](const wsd::PhoneMatch& match) {
     std::cout << "  " << match.digits << " @ offset " << match.offset
               << "\n";
-  }
+  });
   std::cout << "--- ISBN candidates ---\n";
-  for (const auto& match : wsd::ExtractIsbns(text)) {
+  wsd::ExtractIsbnsInto(text, [](const wsd::IsbnMatch& match) {
     std::cout << "  " << match.isbn13 << " @ offset " << match.offset
               << "\n";
-  }
+  });
   std::cout << "--- anchors ---\n";
   for (const auto& anchor : wsd::html::ExtractAnchors(html)) {
     std::cout << "  href=" << anchor.href << "  text=\"" << anchor.text
@@ -82,8 +83,9 @@ int main(int argc, char** argv) {
   if (web != nullptr) {
     const wsd::EntityMatcher matcher(web->catalog(),
                                      wsd::Attribute::kPhone);
+    wsd::MatchScratch scratch;
     std::cout << "--- catalog matches ---\n";
-    for (wsd::EntityId id : matcher.MatchPage(text)) {
+    for (wsd::EntityId id : matcher.MatchPageInto(text, &scratch)) {
       const wsd::Entity& e = web->catalog().entity(id);
       std::cout << "  entity " << id << ": " << e.name << " (" << e.city
                 << "), phone " << e.phone.digits() << "\n";

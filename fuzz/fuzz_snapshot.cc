@@ -1,0 +1,46 @@
+// Fuzzes the binary snapshot loader — the one surface that parses
+// attacker-controllable bytes from disk (a shared artifact directory is
+// only as trustworthy as its slowest rsync). ParseSnapshot must fail
+// closed on anything malformed: no crash, no overflow, no partial table.
+// For inputs that do parse, serialize-then-reparse must be value-stable
+// and the re-encoded bytes must be a fixed point of the encoder.
+
+#include <string>
+#include <string_view>
+
+#include "store/snapshot.h"
+
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  auto parsed = wsd::ParseSnapshot(bytes);
+  if (!parsed.ok()) return 0;  // rejected cleanly — that is the contract
+
+  // Accepted inputs must satisfy the table invariants the serializer
+  // enforces (sorted entity ids, no invalid ids), so re-serializing a
+  // parsed snapshot can never fail.
+  auto reencoded = wsd::SerializeSnapshot(*parsed);
+  WSD_FUZZ_ASSERT(reencoded.ok());
+
+  // The encoder emits minimal varints, so a re-encoding never grows, and
+  // a second encode of the reparsed value is a byte-level fixed point.
+  WSD_FUZZ_ASSERT(reencoded->size() <= bytes.size());
+  auto reparsed = wsd::ParseSnapshot(*reencoded);
+  WSD_FUZZ_ASSERT(reparsed.ok());
+  auto reencoded2 = wsd::SerializeSnapshot(*reparsed);
+  WSD_FUZZ_ASSERT(reencoded2.ok() && *reencoded2 == *reencoded);
+  WSD_FUZZ_ASSERT(reparsed->table.num_hosts() == parsed->table.num_hosts());
+  WSD_FUZZ_ASSERT(reparsed->stats.pages_scanned ==
+                  parsed->stats.pages_scanned);
+  WSD_FUZZ_ASSERT(reparsed->stats.bytes_scanned ==
+                  parsed->stats.bytes_scanned);
+  for (size_t i = 0; i < parsed->table.num_hosts(); ++i) {
+    WSD_FUZZ_ASSERT(reparsed->table.host(i).host ==
+                    parsed->table.host(i).host);
+    WSD_FUZZ_ASSERT(reparsed->table.host(i).entities.size() ==
+                    parsed->table.host(i).entities.size());
+  }
+  return 0;
+}

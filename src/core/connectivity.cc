@@ -39,10 +39,11 @@ StatusOr<GraphMetricsRow> ComputeGraphMetrics(Domain domain, Attribute attr,
 
 std::vector<RobustnessPoint> ComputeRobustness(const HostEntityTable& table,
                                                uint32_t num_entities,
-                                               uint32_t max_removed) {
+                                               uint32_t max_removed,
+                                               ThreadPool* pool) {
   const BipartiteGraph graph =
       BipartiteGraph::FromHostTable(table, num_entities);
-  return RobustnessSweep(graph, max_removed);
+  return RobustnessSweep(graph, max_removed, pool);
 }
 
 }  // namespace wsd

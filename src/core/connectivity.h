@@ -38,10 +38,12 @@ struct GraphMetricsRow {
 
 /// The Fig 9 sweep on the same graph (fractions of covered entities in
 /// the largest component after removing the top k = 0..max_removed
-/// sites).
+/// sites). `pool` (optional) parallelizes the base-state union-find;
+/// results are identical at any thread count.
 std::vector<RobustnessPoint> ComputeRobustness(const HostEntityTable& table,
                                                uint32_t num_entities,
-                                               uint32_t max_removed = 10);
+                                               uint32_t max_removed = 10,
+                                               ThreadPool* pool = nullptr);
 
 }  // namespace wsd
 

@@ -43,6 +43,9 @@ StudyOptions StudyOptions::FromEnv() {
   options.threads =
       static_cast<uint32_t>(EnvUint("WSD_THREADS", options.threads));
   options.legacy_scan = EnvUint("WSD_LEGACY_SCAN", 0) != 0;
+  if (const char* dir = std::getenv("WSD_ARTIFACT_DIR"); dir != nullptr) {
+    options.artifact_dir = dir;
+  }
   if (options.scale <= 0.0) {
     WSD_LOG(kWarning) << "WSD_SCALE must be positive; using 1.0";
     options.scale = 1.0;
@@ -57,7 +60,11 @@ uint32_t StudyOptions::ScaledEntities() const {
 
 Study::Study(const StudyOptions& options)
     : options_(options),
-      pool_(std::make_unique<ThreadPool>(options.threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  if (!options_.artifact_dir.empty()) {
+    store_.emplace(options_.artifact_dir);
+  }
+}
 
 StatusOr<SyntheticWeb> Study::BuildWeb(Domain domain, Attribute attr) const {
   SyntheticWeb::Config config;
@@ -73,7 +80,7 @@ StatusOr<SyntheticWeb> Study::BuildWeb(Domain domain, Attribute attr) const {
   return SyntheticWeb::Create(config);
 }
 
-StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
+StatusOr<ScanResult> Study::RunScanUncached(Domain domain, Attribute attr) {
   auto web = BuildWeb(domain, attr);
   if (!web.ok()) return web.status();
 
@@ -90,61 +97,135 @@ StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
   return options_.legacy_scan ? pipeline.RunLegacy() : pipeline.Run();
 }
 
+ArtifactKey Study::KeyFor(Domain domain, Attribute attr) const {
+  ArtifactKey key;
+  key.domain = domain;
+  key.attr = attr;
+  key.num_entities = options_.num_entities;
+  key.seed = options_.seed;
+  key.scale = options_.scale;
+  key.legacy_scan = options_.legacy_scan;
+  return key;
+}
+
+StatusOr<Study::ScanHandle> Study::Scan(Domain domain, Attribute attr) {
+  const auto memo_key =
+      std::make_pair(static_cast<int>(domain), static_cast<int>(attr));
+  if (auto it = scan_memo_.find(memo_key); it != scan_memo_.end()) {
+    return ScanHandle(domain, attr, it->second);
+  }
+
+  if (store_.has_value()) {
+    auto loaded = store_->Load(KeyFor(domain, attr));
+    if (loaded.ok()) {
+      auto shared =
+          std::make_shared<const ScanResult>(std::move(loaded).value());
+      scan_memo_[memo_key] = shared;
+      return ScanHandle(domain, attr, std::move(shared));
+    }
+    // Miss or verify failure: the store has counted and logged it; answer
+    // with a live scan.
+  }
+
+  auto scanned = RunScanUncached(domain, attr);
+  if (!scanned.ok()) return scanned.status();
+  auto shared =
+      std::make_shared<const ScanResult>(std::move(scanned).value());
+  if (store_.has_value()) {
+    const Status stored = store_->Store(KeyFor(domain, attr), *shared);
+    if (!stored.ok()) {
+      WSD_LOG(kWarning) << "could not persist scan artifact: "
+                        << stored.ToString();
+    }
+  }
+  scan_memo_[memo_key] = shared;
+  return ScanHandle(domain, attr, std::move(shared));
+}
+
+StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
+  auto scan = Scan(domain, attr);
+  if (!scan.ok()) return scan.status();
+  return ScanResult(scan->result());
+}
+
 StatusOr<Study::SpreadResult> Study::RunSpread(Domain domain, Attribute attr,
                                                uint32_t max_k) {
-  auto scan = RunScan(domain, attr);
+  auto scan = Scan(domain, attr);
   if (!scan.ok()) return scan.status();
+  return RunSpread(*scan, max_k);
+}
+
+StatusOr<Study::SpreadResult> Study::RunSpread(const ScanHandle& scan,
+                                               uint32_t max_k) {
   auto curve = ComputeKCoverage(
-      scan->table, options_.ScaledEntities(), max_k,
+      scan.table(), options_.ScaledEntities(), max_k,
       DefaultCoverageTValues(
-          static_cast<uint32_t>(scan->table.num_hosts())));
+          static_cast<uint32_t>(scan.table().num_hosts())));
   if (!curve.ok()) return curve.status();
   SpreadResult result;
   result.curve = std::move(curve).value();
-  result.stats = scan->stats;
+  result.stats = scan.stats();
   return result;
 }
 
 StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(uint32_t max_k) {
-  auto scan = RunScan(Domain::kRestaurants, Attribute::kReviews);
+  auto scan = Scan(Domain::kRestaurants, Attribute::kReviews);
   if (!scan.ok()) return scan.status();
+  return RunReviewSpread(*scan, max_k);
+}
+
+StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(
+    const ScanHandle& scan, uint32_t max_k) {
   const auto t_values = DefaultCoverageTValues(
-      static_cast<uint32_t>(scan->table.num_hosts()));
-  auto site_curve = ComputeKCoverage(scan->table, options_.ScaledEntities(),
+      static_cast<uint32_t>(scan.table().num_hosts()));
+  auto site_curve = ComputeKCoverage(scan.table(), options_.ScaledEntities(),
                                      max_k, t_values);
   if (!site_curve.ok()) return site_curve.status();
-  auto page_curve = ComputePageCoverage(scan->table, t_values);
+  auto page_curve = ComputePageCoverage(scan.table(), t_values);
   if (!page_curve.ok()) return page_curve.status();
   ReviewSpreadResult result;
   result.site_curve = std::move(site_curve).value();
   result.page_curve = std::move(page_curve).value();
-  result.stats = scan->stats;
+  result.stats = scan.stats();
   return result;
 }
 
 StatusOr<SetCoverCurve> Study::RunSetCover(Domain domain, Attribute attr) {
-  auto scan = RunScan(domain, attr);
+  auto scan = Scan(domain, attr);
   if (!scan.ok()) return scan.status();
+  return RunSetCover(*scan);
+}
+
+StatusOr<SetCoverCurve> Study::RunSetCover(const ScanHandle& scan) {
   return GreedySetCover(
-      scan->table, options_.ScaledEntities(),
+      scan.table(), options_.ScaledEntities(),
       DefaultCoverageTValues(
-          static_cast<uint32_t>(scan->table.num_hosts())));
+          static_cast<uint32_t>(scan.table().num_hosts())));
 }
 
 StatusOr<GraphMetricsRow> Study::RunGraphMetrics(Domain domain,
                                                  Attribute attr) {
-  auto scan = RunScan(domain, attr);
+  auto scan = Scan(domain, attr);
   if (!scan.ok()) return scan.status();
-  return ComputeGraphMetrics(domain, attr, scan->table,
+  return RunGraphMetrics(*scan);
+}
+
+StatusOr<GraphMetricsRow> Study::RunGraphMetrics(const ScanHandle& scan) {
+  return ComputeGraphMetrics(scan.domain(), scan.attr(), scan.table(),
                              options_.ScaledEntities(), pool_.get());
 }
 
 StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(
     Domain domain, Attribute attr, uint32_t max_removed) {
-  auto scan = RunScan(domain, attr);
+  auto scan = Scan(domain, attr);
   if (!scan.ok()) return scan.status();
-  return ComputeRobustness(scan->table, options_.ScaledEntities(),
-                           max_removed);
+  return RunRobustness(*scan, max_removed);
+}
+
+StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(
+    const ScanHandle& scan, uint32_t max_removed) {
+  return ComputeRobustness(scan.table(), options_.ScaledEntities(),
+                           max_removed, pool_.get());
 }
 
 StatusOr<Study::ValueStudyResult> Study::RunValueStudy(TrafficSite site) {

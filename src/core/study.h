@@ -2,8 +2,11 @@
 #define WSD_CORE_STUDY_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/connectivity.h"
@@ -14,6 +17,7 @@
 #include "corpus/web_cache.h"
 #include "extract/review_detector.h"
 #include "extract/scan_pipeline.h"
+#include "store/artifact_store.h"
 #include "traffic/demand.h"
 #include "traffic/review_model.h"
 #include "util/statusor.h"
@@ -34,9 +38,14 @@ struct StudyOptions {
   /// Run scans through ScanPipeline::RunLegacy (the pre-kernel path).
   /// Escape hatch / ablation switch; set WSD_LEGACY_SCAN=1.
   bool legacy_scan = false;
+  /// On-disk scan artifact cache (see src/store). Empty disables it:
+  /// scans are then memoized per Study but never persisted. Set via
+  /// `--artifacts=DIR` in wsdctl or WSD_ARTIFACT_DIR.
+  std::string artifact_dir;
 
   /// Reads WSD_SCALE / WSD_ENTITIES / WSD_SEED / WSD_THREADS /
-  /// WSD_LEGACY_SCAN from the environment on top of the defaults.
+  /// WSD_LEGACY_SCAN / WSD_ARTIFACT_DIR from the environment on top of
+  /// the defaults.
   static StudyOptions FromEnv();
 
   /// num_entities with scale applied.
@@ -55,7 +64,39 @@ class Study {
   const StudyOptions& options() const { return options_; }
   ThreadPool& pool() { return *pool_; }
 
-  /// §3.1 cache scan for one (domain, attribute).
+  /// A shared, immutable scan result for one (domain, attribute). Cheap
+  /// to copy (shared_ptr inside); every analysis overload below reads
+  /// through it, so one scan feeds arbitrarily many analyses — the
+  /// paper's scan-once / analyze-many shape.
+  class ScanHandle {
+   public:
+    Domain domain() const { return domain_; }
+    Attribute attr() const { return attr_; }
+    const ScanResult& result() const { return *result_; }
+    const HostEntityTable& table() const { return result_->table; }
+    const ScanStats& stats() const { return result_->stats; }
+
+   private:
+    friend class Study;
+    ScanHandle(Domain domain, Attribute attr,
+               std::shared_ptr<const ScanResult> result)
+        : domain_(domain), attr_(attr), result_(std::move(result)) {}
+
+    Domain domain_;
+    Attribute attr_;
+    std::shared_ptr<const ScanResult> result_;
+  };
+
+  /// §3.1 cache scan for one (domain, attribute), served scan-once: an
+  /// in-memory memo makes repeat calls free within a Study, and when
+  /// options().artifact_dir is set the result round-trips through the
+  /// on-disk ArtifactStore (hit: no scan at all; corrupt or stale
+  /// artifact: logged, counted, and transparently rescanned).
+  [[nodiscard]] StatusOr<ScanHandle> Scan(Domain domain, Attribute attr);
+
+  /// §3.1 cache scan for one (domain, attribute). Equivalent to
+  /// Scan().result() by copy; kept for callers that want to own the
+  /// table.
   [[nodiscard]] StatusOr<ScanResult> RunScan(Domain domain, Attribute attr);
 
   /// Figures 1-3: scan + k-coverage curves.
@@ -64,6 +105,8 @@ class Study {
     ScanStats stats;
   };
   [[nodiscard]] StatusOr<SpreadResult> RunSpread(Domain domain, Attribute attr,
+                                   uint32_t max_k = 10);
+  [[nodiscard]] StatusOr<SpreadResult> RunSpread(const ScanHandle& scan,
                                    uint32_t max_k = 10);
 
   /// Figure 4: restaurant review spread, site-level (a) and page-level
@@ -74,16 +117,23 @@ class Study {
     ScanStats stats;
   };
   [[nodiscard]] StatusOr<ReviewSpreadResult> RunReviewSpread(uint32_t max_k = 10);
+  /// `scan` must be a (kRestaurants, kReviews) handle.
+  [[nodiscard]] StatusOr<ReviewSpreadResult> RunReviewSpread(
+      const ScanHandle& scan, uint32_t max_k = 10);
 
   /// Figure 5: greedy set cover vs. size ordering.
   [[nodiscard]] StatusOr<SetCoverCurve> RunSetCover(Domain domain, Attribute attr);
+  [[nodiscard]] StatusOr<SetCoverCurve> RunSetCover(const ScanHandle& scan);
 
   /// Table 2 row for one graph.
   [[nodiscard]] StatusOr<GraphMetricsRow> RunGraphMetrics(Domain domain, Attribute attr);
+  [[nodiscard]] StatusOr<GraphMetricsRow> RunGraphMetrics(const ScanHandle& scan);
 
   /// Figure 9 sweep for one graph.
   [[nodiscard]] StatusOr<std::vector<RobustnessPoint>> RunRobustness(
       Domain domain, Attribute attr, uint32_t max_removed = 10);
+  [[nodiscard]] StatusOr<std::vector<RobustnessPoint>> RunRobustness(
+      const ScanHandle& scan, uint32_t max_removed = 10);
 
   /// §4 value-of-tail-extraction study for one traffic site: generate
   /// logs, estimate demand from them, and run the Fig 6/7/8 analyses.
@@ -104,9 +154,19 @@ class Study {
   [[nodiscard]] StatusOr<SyntheticWeb> BuildWeb(Domain domain, Attribute attr) const;
 
  private:
+  /// The actual scan (no caching): builds the web and runs the pipeline.
+  [[nodiscard]] StatusOr<ScanResult> RunScanUncached(Domain domain,
+                                                     Attribute attr);
+  ArtifactKey KeyFor(Domain domain, Attribute attr) const;
+
   StudyOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::optional<ReviewDetector> detector_;
+  std::optional<ArtifactStore> store_;
+  /// Scan-once memo: one shared result per (domain, attr) for the
+  /// Study's lifetime.
+  std::map<std::pair<int, int>, std::shared_ptr<const ScanResult>>
+      scan_memo_;
 };
 
 }  // namespace wsd

@@ -25,6 +25,10 @@ struct HrefScratch {
 /// Extracts the canonical homepage keys of all absolute http(s) anchors
 /// on the page ("we looked at the content of href tags of all anchor
 /// nodes", paper §3.2). Relative links and non-http schemes are skipped.
+///
+/// Deprecated: materializes a vector of matches per call. New call sites
+/// should use ExtractHrefsInto with a long-lived HrefScratch; this
+/// wrapper remains for one-shot convenience.
 std::vector<HrefMatch> ExtractHrefs(std::string_view page_html);
 
 /// Streaming variant: walks the page with the view tokenizer, lazily

@@ -19,6 +19,10 @@ struct IsbnMatch {
 /// 13-digit candidate (hyphens/spaces allowed between groups), with a
 /// valid check digit, "along with the string 'ISBN' in a small window
 /// near the match". ISBN-10 matches are normalized to ISBN-13.
+///
+/// Deprecated: materializes a vector of matches per call. New call sites
+/// should use ExtractIsbnsInto, which streams matches to a sink with no
+/// per-call allocation; this wrapper remains for one-shot convenience.
 std::vector<IsbnMatch> ExtractIsbns(std::string_view text);
 
 /// Streaming variant: invokes `sink` once per match, in document order,

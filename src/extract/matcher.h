@@ -32,6 +32,10 @@ class EntityMatcher {
   /// Matches entities on a page. For kPhone/kIsbn/kReviews the input is
   /// the page's visible text; for kHomepage it is the raw HTML (anchors
   /// are parsed internally).
+  ///
+  /// Deprecated: allocates a fresh vector per page. New call sites
+  /// should use MatchPageInto with a long-lived MatchScratch; this
+  /// wrapper remains for one-shot convenience.
   std::vector<EntityId> MatchPage(std::string_view content) const;
 
   /// Zero-allocation kernel behind MatchPage: fills scratch->ids (cleared

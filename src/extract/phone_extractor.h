@@ -23,6 +23,10 @@ struct PhoneMatch {
 /// with NANP validity (area code / exchange start 2-9, no N11) and
 /// digit-boundary checks so identifiers embedded in longer digit runs are
 /// not matched.
+///
+/// Deprecated: materializes a vector of matches per call. New call sites
+/// should use ExtractPhonesInto, which streams matches to a sink with no
+/// per-call allocation; this wrapper remains for one-shot convenience.
 std::vector<PhoneMatch> ExtractPhones(std::string_view text);
 
 /// Streaming variant: invokes `sink` once per match, in document order,

@@ -26,10 +26,12 @@ void MirrorScanStats(const ScanStats& stats, Attribute attr) {
   static Counter& mentions = reg.GetCounter("wsd.scan.mentions");
   static Counter& review_pages = reg.GetCounter("wsd.scan.review_pages");
   static Counter& skipped_urls = reg.GetCounter("wsd.scan.skipped_urls");
+  static Counter& runs = reg.GetCounter("wsd.scan.runs");
   static Gauge& pages_per_sec = reg.GetGauge("wsd.scan.pages_per_sec");
   static Gauge& bytes_per_sec = reg.GetGauge("wsd.scan.bytes_per_sec");
   static LatencyHistogram& run_seconds =
       reg.GetHistogram("wsd.scan.run_seconds");
+  runs.Increment();
   hosts.Increment(stats.hosts_scanned);
   pages.Increment(stats.pages_scanned);
   bytes.Increment(stats.bytes_scanned);

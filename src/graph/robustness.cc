@@ -1,6 +1,7 @@
 #include "graph/robustness.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "graph/union_find.h"
@@ -26,7 +27,8 @@ RobustnessPoint MakePoint(const BipartiteGraph& graph, uint32_t k,
 }  // namespace
 
 std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
-                                             uint32_t max_removed) {
+                                             uint32_t max_removed,
+                                             ThreadPool* pool) {
   const ScopedTimer phase_timer(
       MetricsRegistry::Global().GetHistogram("wsd.graph.robustness_seconds"));
   const uint32_t n_ent = graph.num_entities();
@@ -42,13 +44,11 @@ std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
   // (covered entities + surviving sites) each start as a singleton
   // component; every successful union merges two of them.
   std::vector<uint32_t> entities_at(graph.num_nodes(), 0);
-  for (uint32_t e = 0; e < n_ent; ++e) {
-    if (graph.EntityDegree(e) > 0) entities_at[e] = 1;
-  }
-  uint64_t num_components =
-      static_cast<uint64_t>(graph.num_covered_entities()) +
-      (graph.num_sites() - limit);
-  uint32_t largest = graph.num_covered_entities() > 0 ? 1 : 0;
+  uint64_t num_components = 0;
+  uint32_t largest = 0;
+
+  std::vector<bool> removed(graph.num_sites(), false);
+  for (uint32_t k = 0; k < limit; ++k) removed[order[k]] = true;
 
   // Re-attaches `site`: unions it with its entities, maintaining the
   // component count and the running largest-component entity count
@@ -67,10 +67,82 @@ std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
     }
   };
 
-  std::vector<bool> removed(graph.num_sites(), false);
-  for (uint32_t k = 0; k < limit; ++k) removed[order[k]] = true;
-  for (uint32_t s = 0; s < graph.num_sites(); ++s) {
-    if (!removed[s]) attach(s);
+  const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+  if (workers >= 2 && n_ent > 0) {
+    // Parallel base state: the dominant O(E) pass that attaches every
+    // surviving site runs as shard-local union-finds over contiguous
+    // entity ranges, merged by unioning each touched node with its
+    // shard-local root (the components.cc pattern). The component
+    // partition is independent of union order, so the bookkeeping
+    // recomputed below is bit-identical to the serial pass.
+    static Counter& shard_counter =
+        MetricsRegistry::Global().GetCounter("wsd.graph.robustness_shards");
+    const size_t num_shards = std::min<size_t>(workers, n_ent);
+    const size_t chunk = (n_ent + num_shards - 1) / num_shards;
+    std::vector<std::unique_ptr<UnionFind>> shards(num_shards);
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      pool->Submit([&graph, &shards, &removed, sh, chunk, n_ent] {
+        const uint32_t lo = static_cast<uint32_t>(sh * chunk);
+        const uint32_t hi =
+            std::min<uint32_t>(n_ent, static_cast<uint32_t>(lo + chunk));
+        auto local = std::make_unique<UnionFind>(graph.num_nodes());
+        for (uint32_t e = lo; e < hi; ++e) {
+          for (uint32_t s : graph.SitesOf(e)) {
+            if (!removed[s]) local->Union(e, n_ent + s);
+          }
+        }
+        shards[sh] = std::move(local);
+      });
+    }
+    pool->Wait();
+    shard_counter.Increment(num_shards);
+    for (size_t sh = 0; sh < num_shards; ++sh) {
+      UnionFind& local = *shards[sh];
+      const uint32_t lo = static_cast<uint32_t>(sh * chunk);
+      const uint32_t hi =
+          std::min<uint32_t>(n_ent, static_cast<uint32_t>(lo + chunk));
+      for (uint32_t e = lo; e < hi; ++e) {
+        const uint32_t root = local.Find(e);
+        if (root != e) uf.Union(e, root);
+      }
+      for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+        const uint32_t node = n_ent + s;
+        const uint32_t root = local.Find(node);
+        if (root != node) uf.Union(node, root);
+      }
+    }
+    // Recompute the sweep bookkeeping from the merged structure: entity
+    // tallies at representatives, distinct active components, and the
+    // largest entity count (== the serial running max, since components
+    // only grow).
+    std::vector<bool> seen(graph.num_nodes(), false);
+    for (uint32_t e = 0; e < n_ent; ++e) {
+      if (graph.EntityDegree(e) == 0) continue;
+      const uint32_t root = uf.Find(e);
+      if (!seen[root]) {
+        seen[root] = true;
+        ++num_components;
+      }
+      largest = std::max(largest, ++entities_at[root]);
+    }
+    for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+      if (removed[s]) continue;
+      const uint32_t root = uf.Find(n_ent + s);
+      if (!seen[root]) {
+        seen[root] = true;
+        ++num_components;
+      }
+    }
+  } else {
+    for (uint32_t e = 0; e < n_ent; ++e) {
+      if (graph.EntityDegree(e) > 0) entities_at[e] = 1;
+    }
+    num_components = static_cast<uint64_t>(graph.num_covered_entities()) +
+                     (graph.num_sites() - limit);
+    largest = graph.num_covered_entities() > 0 ? 1 : 0;
+    for (uint32_t s = 0; s < graph.num_sites(); ++s) {
+      if (!removed[s]) attach(s);
+    }
   }
 
   std::vector<RobustnessPoint> out;

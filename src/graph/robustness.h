@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/bipartite.h"
+#include "util/thread_pool.h"
 
 namespace wsd {
 
@@ -31,9 +32,13 @@ struct RobustnessPoint {
 /// max_removed. Implemented as reverse deletion: the sweep starts from
 /// the fully-removed graph and adds sites back from least-important to
 /// most, so the whole curve costs a single O(E·α) union-find pass
-/// instead of one rebuild per k.
+/// instead of one rebuild per k. `pool` (optional) parallelizes the
+/// dominant cost — building the base state with all surviving sites
+/// attached — via the same sharded union-find as the component pass;
+/// results are identical at any thread count.
 std::vector<RobustnessPoint> RobustnessSweep(const BipartiteGraph& graph,
-                                             uint32_t max_removed);
+                                             uint32_t max_removed,
+                                             ThreadPool* pool = nullptr);
 
 /// Reference implementation: rebuilds a union-find from scratch at every
 /// k, O(k·E). Only for tests (randomized cross-checks against the

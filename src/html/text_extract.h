@@ -17,8 +17,11 @@ struct AnchorLink {
 
 /// Extracts the visible text of a page — the concatenated text outside of
 /// tags, scripts and styles, with char refs decoded and block boundaries
-/// rendered as single spaces. Streaming (no DOM build); this is the hot
-/// path of the cache scan.
+/// rendered as single spaces. Streaming (no DOM build).
+///
+/// Deprecated: allocates a fresh string per page. New call sites (and
+/// anything on a per-page path) should use ExtractVisibleTextInto with a
+/// reused buffer; this wrapper remains for one-shot convenience use.
 std::string ExtractVisibleText(std::string_view page_html);
 
 /// Appending variant of ExtractVisibleText: streams the page through the

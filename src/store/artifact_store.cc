@@ -1,0 +1,110 @@
+#include "store/artifact_store.h"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/hash.h"
+#include "util/io_util.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace wsd {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ArtifactKey::CanonicalString() const {
+  uint64_t scale_bits = 0;
+  static_assert(sizeof(scale_bits) == sizeof(scale));
+  std::memcpy(&scale_bits, &scale, sizeof(scale_bits));
+  std::string out = "wsdsnap-v" + std::to_string(kSnapshotSchemaVersion);
+  out += "|domain=";
+  out += DomainName(domain);
+  out += "|attr=";
+  out += AttributeName(attr);
+  out += "|entities=" + std::to_string(num_entities);
+  out += "|seed=" + std::to_string(seed);
+  out += "|scale_bits=" + HexU64(scale_bits);
+  out += "|legacy=";
+  out += legacy_scan ? '1' : '0';
+  return out;
+}
+
+std::string ArtifactKey::Filename() const {
+  std::string out;
+  out += DomainName(domain);
+  out += '-';
+  out += AttributeName(attr);
+  out += '-';
+  out += HexU64(XxHash64(CanonicalString()));
+  out += ".wsdsnap";
+  return out;
+}
+
+std::string ArtifactStore::PathFor(const ArtifactKey& key) const {
+  return (std::filesystem::path(dir_) / key.Filename()).string();
+}
+
+StatusOr<ScanResult> ArtifactStore::Load(const ArtifactKey& key) const {
+  static Counter& hits =
+      MetricsRegistry::Global().GetCounter("wsd.artifact.hits");
+  static Counter& misses =
+      MetricsRegistry::Global().GetCounter("wsd.artifact.misses");
+  static Counter& verify_failures =
+      MetricsRegistry::Global().GetCounter("wsd.artifact.verify_failures");
+  static Counter& read_bytes =
+      MetricsRegistry::Global().GetCounter("wsd.artifact.read_bytes");
+
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    misses.Increment();
+    return Status::NotFound("no artifact for " + key.CanonicalString());
+  }
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    verify_failures.Increment();
+    WSD_LOG(kWarning) << "artifact " << path << " unreadable ("
+                      << bytes.status().ToString()
+                      << "); falling back to live scan";
+    return bytes.status();
+  }
+  auto result = ParseSnapshot(*bytes);
+  if (!result.ok()) {
+    verify_failures.Increment();
+    WSD_LOG(kWarning) << "artifact " << path << " failed verification ("
+                      << result.status().ToString()
+                      << "); falling back to live scan";
+    return result.status();
+  }
+  hits.Increment();
+  read_bytes.Increment(bytes->size());
+  return result;
+}
+
+Status ArtifactStore::Store(const ArtifactKey& key,
+                            const ScanResult& result) const {
+  static Counter& write_bytes =
+      MetricsRegistry::Global().GetCounter("wsd.artifact.write_bytes");
+
+  WSD_RETURN_IF_ERROR(EnsureDirectory(dir_));
+  auto bytes = SerializeSnapshot(result);
+  if (!bytes.ok()) return bytes.status();
+  WSD_RETURN_IF_ERROR(WriteFileAtomic(PathFor(key), *bytes));
+  write_bytes.Increment(bytes->size());
+  return Status::OK();
+}
+
+}  // namespace wsd

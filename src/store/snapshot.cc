@@ -1,0 +1,344 @@
+#include "store/snapshot.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/io_util.h"
+
+namespace wsd {
+
+namespace {
+
+constexpr uint32_t kStatsSection = 1;
+constexpr uint32_t kHostsSection = 2;
+constexpr size_t kMagicLen = sizeof(kSnapshotMagic);
+
+// ---------------------------------------------------------------------
+// Encoding primitives. Fixed-width integers are little-endian; counters
+// and ids are LEB128 varints (7 payload bits per byte, high bit =
+// continuation), which makes page counts and delta-encoded entity ids
+// mostly single bytes.
+
+void PutU32Le(uint32_t v, std::string* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64Le(uint64_t v, std::string* out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Bounds-checked cursor over untrusted bytes. Every Read* returns false
+/// instead of reading past the end, so the parser can only fail closed.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : p_(bytes.data()), left_(bytes.size()) {}
+
+  size_t left() const { return left_; }
+
+  bool ReadU32Le(uint32_t* v) {
+    if (left_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    }
+    p_ += 4;
+    left_ -= 4;
+    return true;
+  }
+
+  bool ReadU64Le(uint64_t* v) {
+    if (left_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    }
+    p_ += 8;
+    left_ -= 8;
+    return true;
+  }
+
+  bool ReadVarint(uint64_t* v) {
+    *v = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (left_ == 0) return false;
+      const unsigned char byte = static_cast<unsigned char>(*p_);
+      ++p_;
+      --left_;
+      // The 10th byte may only carry the final bit of a 64-bit value.
+      if (i == 9 && byte > 1) return false;
+      *v |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (left_ < n) return false;
+    *out = std::string_view(p_, n);
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  size_t left_;
+};
+
+// ---------------------------------------------------------------------
+// Section payloads.
+
+std::string EncodeStats(const ScanStats& stats) {
+  std::string out;
+  PutVarint(stats.hosts_scanned, &out);
+  PutVarint(stats.pages_scanned, &out);
+  PutVarint(stats.bytes_scanned, &out);
+  PutVarint(stats.entity_mentions, &out);
+  PutVarint(stats.review_pages, &out);
+  PutVarint(stats.skipped_urls, &out);
+  // Raw IEEE-754 bits so the round trip is bit-exact.
+  uint64_t wall_bits = 0;
+  static_assert(sizeof(wall_bits) == sizeof(stats.wall_seconds));
+  std::memcpy(&wall_bits, &stats.wall_seconds, sizeof(wall_bits));
+  PutU64Le(wall_bits, &out);
+  return out;
+}
+
+Status DecodeStats(std::string_view payload, ScanStats* stats) {
+  Reader reader(payload);
+  uint64_t wall_bits = 0;
+  if (!reader.ReadVarint(&stats->hosts_scanned) ||
+      !reader.ReadVarint(&stats->pages_scanned) ||
+      !reader.ReadVarint(&stats->bytes_scanned) ||
+      !reader.ReadVarint(&stats->entity_mentions) ||
+      !reader.ReadVarint(&stats->review_pages) ||
+      !reader.ReadVarint(&stats->skipped_urls) ||
+      !reader.ReadU64Le(&wall_bits)) {
+    return Status::Corruption("snapshot stats section truncated");
+  }
+  if (reader.left() != 0) {
+    return Status::Corruption("trailing bytes in snapshot stats section");
+  }
+  std::memcpy(&stats->wall_seconds, &wall_bits,
+              sizeof(stats->wall_seconds));
+  return Status::OK();
+}
+
+// Columnar table encoding: one column per field across all hosts, so
+// same-typed values sit together (short varints compress densely and
+// decode in tight loops). Entity ids are delta-encoded within each host —
+// the HostRecord contract keeps them sorted, so deltas are small.
+StatusOr<std::string> EncodeHosts(const HostEntityTable& table) {
+  std::string out;
+  PutVarint(table.num_hosts(), &out);
+  for (const HostRecord& h : table.hosts()) {
+    PutVarint(h.host.size(), &out);
+  }
+  for (const HostRecord& h : table.hosts()) out += h.host;
+  for (const HostRecord& h : table.hosts()) {
+    PutVarint(h.pages_scanned, &out);
+  }
+  for (const HostRecord& h : table.hosts()) {
+    PutVarint(h.bytes_scanned, &out);
+  }
+  for (const HostRecord& h : table.hosts()) {
+    PutVarint(h.entities.size(), &out);
+  }
+  for (const HostRecord& h : table.hosts()) {
+    EntityId prev = 0;
+    bool first = true;
+    for (const EntityPages& ep : h.entities) {
+      if (ep.entity >= kInvalidEntityId ||
+          (!first && ep.entity < prev)) {
+        return Status::InvalidArgument(
+            "host '" + h.host +
+            "' violates the sorted-entity-ids contract; refusing to "
+            "snapshot");
+      }
+      PutVarint(first ? ep.entity : ep.entity - prev, &out);
+      prev = ep.entity;
+      first = false;
+    }
+  }
+  for (const HostRecord& h : table.hosts()) {
+    for (const EntityPages& ep : h.entities) PutVarint(ep.pages, &out);
+  }
+  return out;
+}
+
+Status DecodeHosts(std::string_view payload, HostEntityTable* table) {
+  Reader reader(payload);
+  const Status truncated =
+      Status::Corruption("snapshot hosts section truncated");
+
+  uint64_t num_hosts = 0;
+  if (!reader.ReadVarint(&num_hosts)) return truncated;
+  // Every host consumes at least one byte per column, so a count larger
+  // than the remaining payload cannot be honest. Rejecting here keeps a
+  // forged count from driving large allocations.
+  if (num_hosts > reader.left()) {
+    return Status::Corruption("snapshot host count exceeds payload");
+  }
+
+  std::vector<HostRecord> hosts(static_cast<size_t>(num_hosts));
+  std::vector<uint64_t> name_lengths(hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (!reader.ReadVarint(&name_lengths[i])) return truncated;
+  }
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    std::string_view name;
+    if (!reader.ReadBytes(static_cast<size_t>(name_lengths[i]), &name)) {
+      return truncated;
+    }
+    hosts[i].host.assign(name);
+  }
+  for (HostRecord& h : hosts) {
+    if (!reader.ReadVarint(&h.pages_scanned)) return truncated;
+  }
+  for (HostRecord& h : hosts) {
+    if (!reader.ReadVarint(&h.bytes_scanned)) return truncated;
+  }
+  std::vector<uint64_t> entity_counts(hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (!reader.ReadVarint(&entity_counts[i])) return truncated;
+    // Each entity still needs an id varint and a pages varint.
+    if (entity_counts[i] > reader.left()) {
+      return Status::Corruption("snapshot entity count exceeds payload");
+    }
+  }
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    hosts[i].entities.resize(static_cast<size_t>(entity_counts[i]));
+    uint64_t id = 0;
+    bool first = true;
+    for (EntityPages& ep : hosts[i].entities) {
+      uint64_t delta = 0;
+      if (!reader.ReadVarint(&delta)) return truncated;
+      id = first ? delta : id + delta;
+      first = false;
+      if (id >= kInvalidEntityId) {
+        return Status::Corruption("snapshot entity id out of range");
+      }
+      ep.entity = static_cast<EntityId>(id);
+    }
+  }
+  for (HostRecord& h : hosts) {
+    for (EntityPages& ep : h.entities) {
+      uint64_t pages = 0;
+      if (!reader.ReadVarint(&pages)) return truncated;
+      if (pages > UINT32_MAX) {
+        return Status::Corruption("snapshot page count out of range");
+      }
+      ep.pages = static_cast<uint32_t>(pages);
+    }
+  }
+  if (reader.left() != 0) {
+    return Status::Corruption("trailing bytes in snapshot hosts section");
+  }
+  *table = HostEntityTable(std::move(hosts));
+  return Status::OK();
+}
+
+void AppendSection(uint32_t id, std::string_view payload, std::string* out) {
+  PutU32Le(id, out);
+  PutU64Le(payload.size(), out);
+  PutU64Le(XxHash64(payload), out);
+  out->append(payload);
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeSnapshot(const ScanResult& result) {
+  auto hosts_payload = EncodeHosts(result.table);
+  if (!hosts_payload.ok()) return hosts_payload.status();
+
+  std::string out;
+  out.append(kSnapshotMagic, kMagicLen);
+  PutU32Le(kSnapshotSchemaVersion, &out);
+  PutU32Le(2, &out);  // section count
+  AppendSection(kStatsSection, EncodeStats(result.stats), &out);
+  AppendSection(kHostsSection, *hosts_payload, &out);
+  return out;
+}
+
+StatusOr<ScanResult> ParseSnapshot(std::string_view bytes) {
+  Reader reader(bytes);
+  std::string_view magic;
+  if (!reader.ReadBytes(kMagicLen, &magic) ||
+      std::memcmp(magic.data(), kSnapshotMagic, kMagicLen) != 0) {
+    return Status::Corruption("not a scan snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  uint32_t num_sections = 0;
+  if (!reader.ReadU32Le(&version) || !reader.ReadU32Le(&num_sections)) {
+    return Status::Corruption("snapshot header truncated");
+  }
+  if (version != kSnapshotSchemaVersion) {
+    return Status::Corruption(
+        "snapshot schema version mismatch (file v" +
+        std::to_string(version) + ", loader v" +
+        std::to_string(kSnapshotSchemaVersion) + ")");
+  }
+  if (num_sections != 2) {
+    return Status::Corruption("unexpected snapshot section count");
+  }
+
+  ScanResult result;
+  const uint32_t expected_ids[2] = {kStatsSection, kHostsSection};
+  for (uint32_t expected : expected_ids) {
+    uint32_t id = 0;
+    uint64_t length = 0;
+    uint64_t checksum = 0;
+    if (!reader.ReadU32Le(&id) || !reader.ReadU64Le(&length) ||
+        !reader.ReadU64Le(&checksum)) {
+      return Status::Corruption("snapshot section header truncated");
+    }
+    if (id != expected) {
+      return Status::Corruption("unexpected snapshot section id " +
+                                std::to_string(id));
+    }
+    std::string_view payload;
+    if (length > reader.left() ||
+        !reader.ReadBytes(static_cast<size_t>(length), &payload)) {
+      return Status::Corruption("snapshot section payload truncated");
+    }
+    if (XxHash64(payload) != checksum) {
+      return Status::Corruption("snapshot section " + std::to_string(id) +
+                                " checksum mismatch");
+    }
+    const Status decoded = id == kStatsSection
+                               ? DecodeStats(payload, &result.stats)
+                               : DecodeHosts(payload, &result.table);
+    WSD_RETURN_IF_ERROR(decoded);
+  }
+  if (reader.left() != 0) {
+    return Status::Corruption("trailing bytes after snapshot sections");
+  }
+  return result;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const ScanResult& result) {
+  auto bytes = SerializeSnapshot(result);
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileAtomic(path, *bytes);
+}
+
+StatusOr<ScanResult> ReadSnapshotFile(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseSnapshot(*bytes);
+}
+
+}  // namespace wsd

@@ -1,0 +1,58 @@
+#ifndef WSD_STORE_SNAPSHOT_H_
+#define WSD_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "extract/scan_pipeline.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Binary layout version of the scan snapshot. Bumped on any layout
+/// change; the loader rejects every other version (stale artifacts then
+/// fall back to a live scan rather than being misread).
+inline constexpr uint32_t kSnapshotSchemaVersion = 1;
+
+/// Serialized size cannot be known without encoding, but every snapshot
+/// starts with this magic — cheap foreign-file rejection before any
+/// decoding happens.
+inline constexpr char kSnapshotMagic[8] = {'W', 'S', 'D', 'S',
+                                           'N', 'A', 'P', '1'};
+
+/// Encodes `result` (the HostEntityTable plus its ScanStats) into the
+/// versioned binary snapshot format:
+///
+///   magic "WSDSNAP1" | version u32 | section count u32
+///   per section: id u32 | payload length u64 | XXH64 checksum u64 | payload
+///
+/// Section 1 carries the varint-encoded ScanStats; section 2 carries the
+/// table in columnar form (name lengths, name bytes, per-host page/byte
+/// totals, per-host entity counts, delta-encoded entity ids, per-edge
+/// page counts — every integer LEB128 varint). See docs/ARCHITECTURE.md,
+/// "Artifact store". Returns InvalidArgument when the table violates the
+/// HostRecord contract (entity ids not sorted, or an invalid id).
+[[nodiscard]] StatusOr<std::string> SerializeSnapshot(
+    const ScanResult& result);
+
+/// Decodes a snapshot produced by SerializeSnapshot. Validates the magic,
+/// schema version, section framing and per-section checksums, and bounds-
+/// checks every varint; malformed, truncated, bit-flipped or foreign
+/// input yields a Corruption status (never a crash — fuzzed by
+/// fuzz/fuzz_snapshot.cc). A clean round trip is bit-identical: the
+/// parsed table compares equal to the serialized one field by field.
+[[nodiscard]] StatusOr<ScanResult> ParseSnapshot(std::string_view bytes);
+
+/// Serializes `result` and atomically replaces `path` with it
+/// (write-via-rename, so readers never observe a torn snapshot).
+[[nodiscard]] Status WriteSnapshotFile(const std::string& path,
+                                       const ScanResult& result);
+
+/// Reads and validates the snapshot at `path`.
+[[nodiscard]] StatusOr<ScanResult> ReadSnapshotFile(const std::string& path);
+
+}  // namespace wsd
+
+#endif  // WSD_STORE_SNAPSHOT_H_

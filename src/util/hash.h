@@ -34,6 +34,99 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+namespace hash_internal {
+
+inline uint64_t RotL64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+/// Little-endian byte loads, so checksums embedded in files match across
+/// platforms regardless of host endianness.
+inline uint64_t Load64Le(const unsigned char* p) {
+  return static_cast<uint64_t>(p[0]) | (static_cast<uint64_t>(p[1]) << 8) |
+         (static_cast<uint64_t>(p[2]) << 16) |
+         (static_cast<uint64_t>(p[3]) << 24) |
+         (static_cast<uint64_t>(p[4]) << 32) |
+         (static_cast<uint64_t>(p[5]) << 40) |
+         (static_cast<uint64_t>(p[6]) << 48) |
+         (static_cast<uint64_t>(p[7]) << 56);
+}
+
+inline uint64_t Load32Le(const unsigned char* p) {
+  return static_cast<uint64_t>(p[0]) | (static_cast<uint64_t>(p[1]) << 8) |
+         (static_cast<uint64_t>(p[2]) << 16) |
+         (static_cast<uint64_t>(p[3]) << 24);
+}
+
+}  // namespace hash_internal
+
+/// XXH64 over bytes — the checksum of the snapshot format (src/store).
+/// Much stronger avalanche than FNV-1a at similar cost, and the exact
+/// reference XXH64 bit pattern, so section checksums are stable across
+/// platforms and toolchains.
+inline uint64_t XxHash64(std::string_view data, uint64_t seed = 0) {
+  using hash_internal::Load32Le;
+  using hash_internal::Load64Le;
+  using hash_internal::RotL64;
+  constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+  constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+  constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+  constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+  constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t left = data.size();
+  uint64_t h;
+
+  if (left >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = RotL64(v1 + Load64Le(p) * kPrime2, 31) * kPrime1;
+      v2 = RotL64(v2 + Load64Le(p + 8) * kPrime2, 31) * kPrime1;
+      v3 = RotL64(v3 + Load64Le(p + 16) * kPrime2, 31) * kPrime1;
+      v4 = RotL64(v4 + Load64Le(p + 24) * kPrime2, 31) * kPrime1;
+      p += 32;
+      left -= 32;
+    } while (left >= 32);
+    h = RotL64(v1, 1) + RotL64(v2, 7) + RotL64(v3, 12) + RotL64(v4, 18);
+    for (uint64_t v : {v1, v2, v3, v4}) {
+      h ^= RotL64(v * kPrime2, 31) * kPrime1;
+      h = h * kPrime1 + kPrime4;
+    }
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<uint64_t>(data.size());
+  while (left >= 8) {
+    h ^= RotL64(Load64Le(p) * kPrime2, 31) * kPrime1;
+    h = RotL64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    left -= 8;
+  }
+  if (left >= 4) {
+    h ^= Load32Le(p) * kPrime1;
+    h = RotL64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    left -= 4;
+  }
+  while (left > 0) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = RotL64(h, 11) * kPrime1;
+    ++p;
+    --left;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
 }  // namespace wsd
 
 #endif  // WSD_UTIL_HASH_H_

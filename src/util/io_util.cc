@@ -1,0 +1,65 @@
+#include "util/io_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+namespace wsd {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failure: " + path);
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  // The temp file must live on the same filesystem as the target for
+  // rename() to be atomic; a sibling name guarantees that.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open for writing: " + tmp);
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("write failure: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + path + ": " +
+                           ec.message());
+  }
+  if (!fs::is_directory(path, ec)) {
+    return Status::IOError("not a directory: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace wsd

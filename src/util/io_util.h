@@ -1,0 +1,30 @@
+#ifndef WSD_UTIL_IO_UTIL_H_
+#define WSD_UTIL_IO_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Reads the whole file at `path` as binary bytes. IOError when the file
+/// cannot be opened or read.
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `data`: writes to a sibling temp file
+/// and renames it over the target, so concurrent readers only ever see
+/// the old bytes or the new bytes, never a torn write. The temp file is
+/// removed on any failure.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view data);
+
+/// Creates `path` (and missing parents) as a directory. OK when it
+/// already exists as a directory; IOError when creation fails or the
+/// path exists as a non-directory.
+[[nodiscard]] Status EnsureDirectory(const std::string& path);
+
+}  // namespace wsd
+
+#endif  // WSD_UTIL_IO_UTIL_H_

@@ -313,6 +313,31 @@ TEST(DiameterTest, ParallelMatchesSerial) {
   }
 }
 
+// The parallel base-state build of the robustness sweep must emit the
+// same curve as the serial path at every thread count.
+TEST(RobustnessTest, ParallelMatchesSerial) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto graph = RandomGraph(seed);
+    for (uint32_t max_removed : {0u, 3u, 10u}) {
+      const auto serial = RobustnessSweep(graph, max_removed);
+      for (size_t threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const auto parallel = RobustnessSweep(graph, max_removed, &pool);
+        ASSERT_EQ(parallel.size(), serial.size())
+            << "seed " << seed << " threads " << threads;
+        for (size_t i = 0; i < serial.size(); ++i) {
+          EXPECT_EQ(parallel[i].removed_sites, serial[i].removed_sites);
+          EXPECT_EQ(parallel[i].num_components, serial[i].num_components)
+              << "seed " << seed << " threads " << threads << " k=" << i;
+          EXPECT_DOUBLE_EQ(parallel[i].largest_component_entity_fraction,
+                           serial[i].largest_component_entity_fraction)
+              << "seed " << seed << " threads " << threads << " k=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(BipartiteGraphTest, SitesByDegreeDesc) {
   const auto table = MakeTable({{0}, {0, 1, 2}, {0, 1}});
   const auto graph = BipartiteGraph::FromHostTable(table, 3);

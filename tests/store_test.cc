@@ -1,0 +1,450 @@
+// Tests for the scan-artifact store: snapshot round trips (including
+// TSV-loaded, empty and zero-page tables), fail-closed parsing of
+// malformed bytes, ArtifactStore hit/miss/fallback semantics, and the
+// scan-once acceptance check (one live scan per (domain, attr) however
+// many analyses consume it).
+
+#include "store/artifact_store.h"
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "util/metrics.h"
+
+namespace wsd {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// A fresh directory under the test tmp root, wiped on construction.
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("wsd_store_test_" + name)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+ScanResult MakeResult() {
+  std::vector<HostRecord> hosts;
+  {
+    HostRecord rec;
+    rec.host = "alpha.example.com";
+    rec.entities = {{0, 3}, {5, 1}, {17, 2}};
+    rec.pages_scanned = 12;
+    rec.bytes_scanned = 34567;
+    hosts.push_back(std::move(rec));
+  }
+  {
+    // A host the scan visited but where nothing matched — and with zero
+    // pages (possible for TSV-loaded tables, which carry no page totals).
+    HostRecord rec;
+    rec.host = "beta.example.net";
+    hosts.push_back(std::move(rec));
+  }
+  {
+    HostRecord rec;
+    rec.host = "gamma.example.org";
+    // Adjacent duplicate ids are legal for TSV-loaded tables (ReadTsv
+    // sorts but does not deduplicate), so the format must round-trip
+    // them (delta 0).
+    rec.entities = {{2, 1}, {2, 4}, {1000000, 7}};
+    rec.pages_scanned = 1;
+    hosts.push_back(std::move(rec));
+  }
+  ScanResult result;
+  result.table = HostEntityTable(std::move(hosts));
+  result.stats.hosts_scanned = 3;
+  result.stats.pages_scanned = 13;
+  result.stats.bytes_scanned = 34567;
+  result.stats.entity_mentions = 18;
+  result.stats.review_pages = 2;
+  result.stats.skipped_urls = 1;
+  result.stats.wall_seconds = 0.25;
+  return result;
+}
+
+void ExpectSameResult(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.stats.hosts_scanned, b.stats.hosts_scanned);
+  EXPECT_EQ(a.stats.pages_scanned, b.stats.pages_scanned);
+  EXPECT_EQ(a.stats.bytes_scanned, b.stats.bytes_scanned);
+  EXPECT_EQ(a.stats.entity_mentions, b.stats.entity_mentions);
+  EXPECT_EQ(a.stats.review_pages, b.stats.review_pages);
+  EXPECT_EQ(a.stats.skipped_urls, b.stats.skipped_urls);
+  EXPECT_DOUBLE_EQ(a.stats.wall_seconds, b.stats.wall_seconds);
+  ASSERT_EQ(a.table.num_hosts(), b.table.num_hosts());
+  for (size_t i = 0; i < a.table.num_hosts(); ++i) {
+    const HostRecord& ra = a.table.host(i);
+    const HostRecord& rb = b.table.host(i);
+    EXPECT_EQ(ra.host, rb.host);
+    EXPECT_EQ(ra.pages_scanned, rb.pages_scanned);
+    EXPECT_EQ(ra.bytes_scanned, rb.bytes_scanned);
+    ASSERT_EQ(ra.entities.size(), rb.entities.size()) << ra.host;
+    for (size_t j = 0; j < ra.entities.size(); ++j) {
+      EXPECT_EQ(ra.entities[j].entity, rb.entities[j].entity);
+      EXPECT_EQ(ra.entities[j].pages, rb.entities[j].pages);
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripIsBitIdentical) {
+  const ScanResult original = MakeResult();
+  auto bytes = SerializeSnapshot(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseSnapshot(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(original, *parsed);
+  // Deterministic encoder: re-serializing the parsed result reproduces
+  // the same bytes.
+  auto bytes2 = SerializeSnapshot(*parsed);
+  ASSERT_TRUE(bytes2.ok());
+  EXPECT_EQ(*bytes, *bytes2);
+}
+
+TEST(SnapshotTest, EmptyTableRoundTrips) {
+  ScanResult empty;
+  auto bytes = SerializeSnapshot(empty);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseSnapshot(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->table.num_hosts(), 0u);
+  EXPECT_EQ(parsed->stats.pages_scanned, 0u);
+}
+
+TEST(SnapshotTest, TsvLoadedTableRoundTrips) {
+  const ScanResult original = MakeResult();
+  const std::string tsv =
+      (fs::temp_directory_path() / "wsd_store_test_table.tsv").string();
+  ASSERT_TRUE(original.table.WriteTsv(tsv).ok());
+  auto loaded = HostEntityTable::ReadTsv(tsv);
+  std::remove(tsv.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // TSV persists only host + entity:pages, so wrap the reloaded table in
+  // a fresh result and require a bit-identical snapshot round trip.
+  ScanResult reloaded;
+  reloaded.table = std::move(loaded).value();
+  auto bytes = SerializeSnapshot(reloaded);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseSnapshot(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(reloaded, *parsed);
+}
+
+TEST(SnapshotTest, FileRoundTripIsAtomicAndIdentical) {
+  const std::string dir = FreshDir("file_rt");
+  ASSERT_TRUE(fs::create_directories(dir));
+  const std::string path = dir + "/snap.wsdsnap";
+  const ScanResult original = MakeResult();
+  ASSERT_TRUE(WriteSnapshotFile(path, original).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // write-via-rename cleaned up
+  auto parsed = ReadSnapshotFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(original, *parsed);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotTest, SerializerRejectsContractViolations) {
+  ScanResult bad = MakeResult();
+  bad.table.mutable_hosts()[0].entities = {{7, 1}, {3, 1}};  // unsorted
+  EXPECT_TRUE(SerializeSnapshot(bad).status().IsInvalidArgument());
+
+  ScanResult invalid_id = MakeResult();
+  invalid_id.table.mutable_hosts()[0].entities = {{kInvalidEntityId, 1}};
+  EXPECT_TRUE(SerializeSnapshot(invalid_id).status().IsInvalidArgument());
+}
+
+TEST(SnapshotTest, EveryTruncationFailsClosed) {
+  auto bytes = SerializeSnapshot(MakeResult());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    auto parsed = ParseSnapshot(std::string_view(bytes->data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(SnapshotTest, EveryByteFlipFailsClosed) {
+  auto bytes = SerializeSnapshot(MakeResult());
+  ASSERT_TRUE(bytes.ok());
+  // Header fields are validated and every payload byte is covered by its
+  // section checksum, so no single corrupted byte may parse.
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    std::string corrupt = *bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    auto parsed = ParseSnapshot(corrupt);
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " parsed";
+  }
+}
+
+TEST(SnapshotTest, RejectsVersionSkewWithClearStatus) {
+  auto bytes = SerializeSnapshot(MakeResult());
+  ASSERT_TRUE(bytes.ok());
+  std::string bumped = *bytes;
+  bumped[8] = static_cast<char>(kSnapshotSchemaVersion + 1);  // version u32
+  auto parsed = ParseSnapshot(bumped);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SnapshotTest, RejectsForeignAndTrailingBytes) {
+  EXPECT_TRUE(ParseSnapshot("").status().IsCorruption());
+  EXPECT_TRUE(ParseSnapshot("WSDCACHE1\nnot a snapshot at all")
+                  .status()
+                  .IsCorruption());
+  auto bytes = SerializeSnapshot(MakeResult());
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(ParseSnapshot(*bytes + "x").status().IsCorruption());
+}
+
+TEST(ArtifactKeyTest, FilenameTracksEveryField) {
+  ArtifactKey key;
+  key.domain = Domain::kRestaurants;
+  key.attr = Attribute::kPhone;
+  key.num_entities = 2000;
+  key.seed = 42;
+  key.scale = 1.0;
+  const std::string base = key.Filename();
+  EXPECT_NE(base.find("Restaurants-phone-"), std::string::npos);
+  EXPECT_NE(base.find(".wsdsnap"), std::string::npos);
+
+  ArtifactKey other = key;
+  other.seed = 43;
+  EXPECT_NE(other.Filename(), base);
+  other = key;
+  other.scale = 2.0;
+  EXPECT_NE(other.Filename(), base);
+  other = key;
+  other.num_entities = 2001;
+  EXPECT_NE(other.Filename(), base);
+  other = key;
+  other.legacy_scan = true;
+  EXPECT_NE(other.Filename(), base);
+  other = key;
+  other.attr = Attribute::kHomepage;
+  EXPECT_NE(other.Filename(), base);
+  EXPECT_EQ(ArtifactKey(key).Filename(), base);
+}
+
+TEST(ArtifactStoreTest, MissThenStoreThenHit) {
+  const std::string dir = FreshDir("miss_hit");
+  const ArtifactStore store(dir);
+  ArtifactKey key;
+  key.num_entities = 128;
+  key.seed = 9;
+
+  const uint64_t misses0 = CounterValue("wsd.artifact.misses");
+  const uint64_t hits0 = CounterValue("wsd.artifact.hits");
+  EXPECT_TRUE(store.Load(key).status().IsNotFound());
+  EXPECT_EQ(CounterValue("wsd.artifact.misses"), misses0 + 1);
+
+  const ScanResult result = MakeResult();
+  const uint64_t written0 = CounterValue("wsd.artifact.write_bytes");
+  ASSERT_TRUE(store.Store(key, result).ok());
+  EXPECT_GT(CounterValue("wsd.artifact.write_bytes"), written0);
+
+  auto loaded = store.Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(CounterValue("wsd.artifact.hits"), hits0 + 1);
+  ExpectSameResult(result, *loaded);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactStoreTest, CorruptArtifactCountsVerifyFailure) {
+  const std::string dir = FreshDir("corrupt");
+  const ArtifactStore store(dir);
+  ArtifactKey key;
+  key.num_entities = 64;
+  ASSERT_TRUE(store.Store(key, MakeResult()).ok());
+
+  // Flip one byte in the stored snapshot.
+  const std::string path = store.PathFor(key);
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(file.tellg());
+  file.seekp(size / 2);
+  file.put('\xff');
+  file.close();
+
+  const uint64_t failures0 = CounterValue("wsd.artifact.verify_failures");
+  const uint64_t hits0 = CounterValue("wsd.artifact.hits");
+  EXPECT_FALSE(store.Load(key).ok());
+  EXPECT_EQ(CounterValue("wsd.artifact.verify_failures"), failures0 + 1);
+  EXPECT_EQ(CounterValue("wsd.artifact.hits"), hits0);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Study integration: scan-once / analyze-many.
+
+StudyOptions SmallOptions() {
+  StudyOptions options;
+  options.num_entities = 1000;
+  options.scale = 0.05;
+  options.seed = 11;
+  options.threads = 2;
+  return options;
+}
+
+// The acceptance criterion for the artifact store: however many analyses
+// run, a Study performs exactly one live scan per (domain, attr) — and a
+// second Study over the same artifact directory performs none.
+TEST(StudyArtifactTest, ScanOnceAnalyzeMany) {
+  const std::string dir = FreshDir("study_once");
+  StudyOptions options = SmallOptions();
+  options.artifact_dir = dir;
+
+  const uint64_t runs0 = CounterValue("wsd.scan.runs");
+  const uint64_t hits0 = CounterValue("wsd.artifact.hits");
+  Study cold(options);
+  auto spread = cold.RunSpread(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(spread.ok()) << spread.status();
+  auto cover = cold.RunSetCover(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  auto row = cold.RunGraphMetrics(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(row.ok()) << row.status();
+  auto sweep = cold.RunRobustness(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1)
+      << "four analyses must share one scan";
+
+  // Warm Study: the snapshot satisfies the scan, so zero live scans.
+  Study warm(options);
+  auto warm_spread = warm.RunSpread(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(warm_spread.ok()) << warm_spread.status();
+  auto warm_sweep = warm.RunRobustness(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(warm_sweep.ok()) << warm_sweep.status();
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1);
+  EXPECT_GT(CounterValue("wsd.artifact.hits"), hits0);
+
+  // And the cached scan produces identical analysis results.
+  ASSERT_EQ(spread->curve.t_values, warm_spread->curve.t_values);
+  ASSERT_EQ(spread->curve.k_coverage.size(),
+            warm_spread->curve.k_coverage.size());
+  for (size_t k = 0; k < spread->curve.k_coverage.size(); ++k) {
+    ASSERT_EQ(spread->curve.k_coverage[k], warm_spread->curve.k_coverage[k]);
+  }
+  ASSERT_EQ(sweep->size(), warm_sweep->size());
+  for (size_t i = 0; i < sweep->size(); ++i) {
+    EXPECT_EQ((*sweep)[i].num_components, (*warm_sweep)[i].num_components);
+    EXPECT_EQ((*sweep)[i].largest_component_entity_fraction,
+              (*warm_sweep)[i].largest_component_entity_fraction);
+  }
+  fs::remove_all(dir);
+}
+
+// Without an artifact dir the per-Study memo still collapses repeat
+// scans of the same (domain, attr).
+TEST(StudyArtifactTest, InMemoryMemoAvoidsRescans) {
+  Study study(SmallOptions());
+  const uint64_t runs0 = CounterValue("wsd.scan.runs");
+  auto a = study.RunScan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(a.ok());
+  auto b = study.RunScan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1);
+  ExpectSameResult(*a, *b);
+  // A different attribute is a different scan.
+  auto c = study.RunScan(Domain::kBanks, Attribute::kHomepage);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 2);
+}
+
+// A stale/corrupt artifact falls back to a live scan with identical
+// results (and rewrites the artifact).
+TEST(StudyArtifactTest, CorruptArtifactFallsBackToLiveScan) {
+  const std::string dir = FreshDir("study_fallback");
+  StudyOptions options = SmallOptions();
+  options.artifact_dir = dir;
+
+  ScanResult fresh;
+  {
+    Study study(options);
+    auto scan = study.RunScan(Domain::kBanks, Attribute::kPhone);
+    ASSERT_TRUE(scan.ok());
+    fresh = std::move(scan).value();
+  }
+  // Truncate the single stored artifact.
+  bool truncated_one = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+    out << "WSDSNAP1 but not really";
+    truncated_one = true;
+  }
+  ASSERT_TRUE(truncated_one);
+
+  const uint64_t failures0 = CounterValue("wsd.artifact.verify_failures");
+  const uint64_t runs0 = CounterValue("wsd.scan.runs");
+  Study study(options);
+  auto scan = study.RunScan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(CounterValue("wsd.artifact.verify_failures"), failures0 + 1);
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1);
+  // Two independent live scans: identical up to wall-clock time.
+  scan->stats.wall_seconds = fresh.stats.wall_seconds;
+  ExpectSameResult(fresh, *scan);
+
+  // The rescan re-persisted a valid artifact: a third Study hits it.
+  const uint64_t hits0 = CounterValue("wsd.artifact.hits");
+  Study rewarmed(options);
+  auto again = rewarmed.RunScan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(CounterValue("wsd.artifact.hits"), hits0 + 1);
+  EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1);
+  fs::remove_all(dir);
+}
+
+// The ScanHandle overloads must agree with the (domain, attr) overloads.
+TEST(StudyArtifactTest, HandleOverloadsMatchClassicApi) {
+  Study study(SmallOptions());
+  auto handle = study.Scan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(handle->domain(), Domain::kBanks);
+  EXPECT_EQ(handle->attr(), Attribute::kPhone);
+
+  auto via_handle = study.RunSpread(*handle);
+  auto classic = study.RunSpread(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(via_handle.ok());
+  ASSERT_TRUE(classic.ok());
+  for (size_t k = 0; k < classic->curve.k_coverage.size(); ++k) {
+    ASSERT_EQ(classic->curve.k_coverage[k], via_handle->curve.k_coverage[k]);
+  }
+
+  auto row_h = study.RunGraphMetrics(*handle);
+  auto row_c = study.RunGraphMetrics(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(row_h.ok());
+  ASSERT_TRUE(row_c.ok());
+  EXPECT_EQ(row_h->num_components, row_c->num_components);
+  EXPECT_EQ(row_h->diameter, row_c->diameter);
+  EXPECT_EQ(row_h->num_edges, row_c->num_edges);
+
+  auto sweep_h = study.RunRobustness(*handle);
+  auto sweep_c = study.RunRobustness(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(sweep_h.ok());
+  ASSERT_TRUE(sweep_c.ok());
+  ASSERT_EQ(sweep_h->size(), sweep_c->size());
+  for (size_t i = 0; i < sweep_c->size(); ++i) {
+    EXPECT_EQ((*sweep_h)[i].num_components, (*sweep_c)[i].num_components);
+  }
+
+  auto cover_h = study.RunSetCover(*handle);
+  auto cover_c = study.RunSetCover(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(cover_h.ok());
+  ASSERT_TRUE(cover_c.ok());
+  EXPECT_EQ(cover_h->greedy_coverage, cover_c->greedy_coverage);
+}
+
+}  // namespace
+}  // namespace wsd

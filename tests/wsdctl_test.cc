@@ -11,6 +11,9 @@
 #include <iterator>
 #include <string>
 
+#include "extract/host_table.h"
+#include "store/snapshot.h"
+
 namespace wsd {
 namespace {
 
@@ -136,6 +139,61 @@ TEST(WsdctlTest, MetricsOutWritesJsonForAnyCommand) {
   EXPECT_NE(text.find("\"wsd.graph.diameter_seconds\""), std::string::npos);
   EXPECT_NE(text.find("\"wsd.graph.components_seconds\""), std::string::npos);
   std::remove(out.c_str());
+}
+
+TEST(WsdctlTest, ScanWritesLoadableSnapshot) {
+  SKIP_WITHOUT_CLI();
+  const std::string snap =
+      (fs::temp_directory_path() / "wsdctl_scan.wsdsnap").string();
+  const std::string tsv =
+      (fs::temp_directory_path() / "wsdctl_scan.tsv").string();
+  ASSERT_EQ(RunCli("scan --domain banks --attr phone --entities 300 "
+                   "--scale 0.05 --seed 3 --out=" +
+                   snap + " --table-out=" + tsv),
+            0);
+  auto parsed = ReadSnapshotFile(snap);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_GT(parsed->table.num_hosts(), 0u);
+  EXPECT_GT(parsed->stats.pages_scanned, 0u);
+  // The snapshot's table matches the TSV the same run wrote.
+  auto table = HostEntityTable::ReadTsv(tsv);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(parsed->table.num_hosts(), table->num_hosts());
+  for (size_t i = 0; i < table->num_hosts(); ++i) {
+    EXPECT_EQ(parsed->table.host(i).host, table->host(i).host);
+    EXPECT_EQ(parsed->table.host(i).entities.size(),
+              table->host(i).entities.size());
+  }
+  std::remove(snap.c_str());
+  std::remove(tsv.c_str());
+}
+
+TEST(WsdctlTest, ArtifactsFlagCachesAcrossRuns) {
+  SKIP_WITHOUT_CLI();
+  const std::string dir =
+      (fs::temp_directory_path() / "wsdctl_artifacts").string();
+  const std::string cold_json =
+      (fs::temp_directory_path() / "wsdctl_cold.json").string();
+  const std::string warm_json =
+      (fs::temp_directory_path() / "wsdctl_warm.json").string();
+  fs::remove_all(dir);
+  const std::string flags =
+      "spread --domain banks --attr phone --entities 300 --scale 0.05 "
+      "--seed 3 --artifacts=" +
+      dir;
+  ASSERT_EQ(RunCli(flags + " --metrics_out=" + cold_json), 0);
+  const std::string cold = ReadFile(cold_json);
+  EXPECT_NE(cold.find("\"wsd.scan.runs\": 1"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("\"wsd.artifact.write_bytes\""), std::string::npos);
+
+  // Second process: the scan is answered from the artifact store.
+  ASSERT_EQ(RunCli(flags + " --metrics_out=" + warm_json), 0);
+  const std::string warm = ReadFile(warm_json);
+  EXPECT_NE(warm.find("\"wsd.artifact.hits\": 1"), std::string::npos) << warm;
+  EXPECT_EQ(warm.find("\"wsd.scan.runs\""), std::string::npos) << warm;
+  fs::remove_all(dir);
+  std::remove(cold_json.c_str());
+  std::remove(warm_json.c_str());
 }
 
 }  // namespace

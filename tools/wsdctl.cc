@@ -10,14 +10,17 @@
 //   value                 §4 demand/value-add study for one traffic site
 //   bootstrap             set-expansion simulation on one graph
 //   gen-cache             render a synthetic web into an on-disk page cache
+//   scan                  run one cache scan; --out writes a binary snapshot
 //   metrics               run a command (or a scan), dump the metrics registry
 //
 // Common flags: --domain=<name> --attr=<phone|homepage|isbn|reviews>
 //               --entities=N --seed=N --scale=F --out=<file.tsv>
-//               --metrics_out=<file.json>
+//               --artifacts=<dir> --metrics_out=<file.json>
 // Every command prints a human table to stdout; --out additionally dumps
 // machine-readable TSV and --metrics_out dumps the metrics registry as
-// JSON after the run (see docs/METRICS.md).
+// JSON after the run (see docs/METRICS.md). --artifacts enables the
+// on-disk scan-artifact cache (see docs/ARCHITECTURE.md, "Artifact
+// store"): identical reruns then skip their scans entirely.
 
 #include <cstdio>
 #include <fstream>
@@ -31,6 +34,7 @@
 #include "core/report.h"
 #include "core/coverage.h"
 #include "core/study.h"
+#include "store/snapshot.h"
 #include "util/flags.h"
 #include "corpus/web_cache.h"
 #include "graph/diameter.h"
@@ -95,6 +99,7 @@ StudyOptions OptionsFrom(const Args& args) {
       options.threads = static_cast<uint32_t>(*n);
     }
   }
+  if (auto v = args.Get("artifacts")) options.artifact_dir = *v;
   return options;
 }
 
@@ -458,6 +463,47 @@ int CmdScanCache(const Args& args) {
   return 0;
 }
 
+// One §3.1 cache scan. --out persists the result as a binary snapshot
+// (store/snapshot.h) — the same format the artifact store caches — and
+// --table-out dumps the host table as TSV.
+int CmdScan(const Args& args) {
+  const auto domain = ParseDomain(args.GetOr("domain", "restaurants"));
+  const auto attr = ParseAttribute(args.GetOr("attr", "phone"));
+  if (!domain || !attr) {
+    std::cerr << "unknown --domain or --attr\n";
+    return 2;
+  }
+  Study study(OptionsFrom(args));
+  auto scan = study.Scan(*domain, *attr);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  const ScanStats& stats = scan->stats();
+  std::cout << "scanned " << stats.pages_scanned << " pages ("
+            << stats.bytes_scanned / (1024 * 1024) << " MiB) across "
+            << stats.hosts_scanned << " hosts; matched "
+            << stats.entity_mentions << " mentions in "
+            << FormatF(stats.wall_seconds, 2) << "s\n";
+  if (auto out = args.Get("out")) {
+    const Status status = WriteSnapshotFile(*out, scan->result());
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote snapshot to " << *out << "\n";
+  }
+  if (auto out = args.Get("table-out")) {
+    const Status status = scan->table().WriteTsv(*out);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote host table to " << *out << "\n";
+  }
+  return 0;
+}
+
 // Runs every experiment and writes one TSV per figure/table into
 // --outdir (created by the caller). The single-command "reproduce the
 // paper" entry point.
@@ -693,10 +739,14 @@ int CmdHelp() {
       "  bootstrap   set-expansion trials   --domain --attr [--seeds N]\n"
       "  gen-cache   persist a synthetic web --domain --attr --out f.bin\n"
       "  scan-cache  scan a persisted cache  --domain --attr --in f.bin\n"
+      "  scan        run one cache scan      --domain --attr\n"
+      "              [--out snap.wsdsnap] [--table-out f.tsv]\n"
       "  paper       run EVERY experiment, TSVs into --outdir\n"
       "  metrics     run a command (default: a scan), then dump the\n"
       "              metrics registry        [command ...] [--format json]\n\n"
       "common flags: --entities=N --seed=N --scale=F --threads=N\n"
+      "              --artifacts=DIR  (cache scans as on-disk snapshots;\n"
+      "               reruns with the same options skip the scan)\n"
       "              --metrics_out=f.json  (dump registry after any run)\n"
       "domains: books restaurants automotive banks libraries schools "
       "hotels retail home\n";
@@ -714,6 +764,7 @@ int RunCommand(const std::string& command, const Args& args) {
   if (command == "bootstrap") return CmdBootstrap(args);
   if (command == "gen-cache") return CmdGenCache(args);
   if (command == "scan-cache") return CmdScanCache(args);
+  if (command == "scan") return CmdScan(args);
   if (command == "paper") return CmdPaper(args);
   if (command == "metrics") return CmdMetrics(args);
   if (command == "help" || command == "--help") return CmdHelp();
