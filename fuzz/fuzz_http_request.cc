@@ -1,0 +1,60 @@
+// Fuzzes the wsdd HTTP request parser — the server's only surface that
+// consumes attacker-controlled bytes off a socket. The parser must fail
+// closed: no crash on any input, every rejection a 400/413, and no
+// acceptance of requests over the configured limits. For inputs that do
+// parse, reparsing the consumed prefix must be a fixed point (the
+// keep-alive loop depends on `consumed` being exact).
+
+#include <string_view>
+
+#include "serve/http.h"
+
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  wsd::HttpLimits limits;
+  limits.max_header_bytes = 1024;
+  limits.max_body_bytes = 256;
+  limits.max_headers = 16;
+
+  const wsd::HttpParseResult result = wsd::ParseHttpRequest(bytes, limits);
+  switch (result.state) {
+    case wsd::HttpParseState::kError:
+      // The fail-closed vocabulary: nothing but 400 and 413.
+      WSD_FUZZ_ASSERT(result.error_code == 400 || result.error_code == 413);
+      WSD_FUZZ_ASSERT(!result.error.empty());
+      return 0;
+    case wsd::HttpParseState::kNeedMore:
+      // A parser asking for more bytes must not have passed the header
+      // budget (else a hostile peer grows the buffer unboundedly).
+      WSD_FUZZ_ASSERT(bytes.size() < limits.max_header_bytes ||
+                      bytes.size() - limits.max_header_bytes <
+                          limits.max_body_bytes);
+      return 0;
+    case wsd::HttpParseState::kOk:
+      break;
+  }
+
+  // Accepted request: limits were honored.
+  WSD_FUZZ_ASSERT(result.consumed > 0 && result.consumed <= bytes.size());
+  WSD_FUZZ_ASSERT(result.request.headers.size() <= limits.max_headers);
+  WSD_FUZZ_ASSERT(result.request.body.size() <= limits.max_body_bytes);
+  WSD_FUZZ_ASSERT(!result.request.method.empty());
+  WSD_FUZZ_ASSERT(!result.request.target.empty());
+
+  // Reparsing exactly the consumed prefix yields the same request — the
+  // pipelining contract.
+  const wsd::HttpParseResult again =
+      wsd::ParseHttpRequest(bytes.substr(0, result.consumed), limits);
+  WSD_FUZZ_ASSERT(again.state == wsd::HttpParseState::kOk);
+  WSD_FUZZ_ASSERT(again.consumed == result.consumed);
+  WSD_FUZZ_ASSERT(again.request.method == result.request.method);
+  WSD_FUZZ_ASSERT(again.request.target == result.request.target);
+  WSD_FUZZ_ASSERT(again.request.path == result.request.path);
+  WSD_FUZZ_ASSERT(again.request.query == result.request.query);
+  WSD_FUZZ_ASSERT(again.request.headers == result.request.headers);
+  WSD_FUZZ_ASSERT(again.request.body == result.request.body);
+  WSD_FUZZ_ASSERT(again.request.keep_alive == result.request.keep_alive);
+  return 0;
+}

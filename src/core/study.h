@@ -75,6 +75,9 @@ class Study {
     const ScanResult& result() const { return *result_; }
     const HostEntityTable& table() const { return result_->table; }
     const ScanStats& stats() const { return result_->stats; }
+    /// The underlying shared result; lets callers (e.g. the serve-layer
+    /// scan cache) keep the result alive past the Study that produced it.
+    std::shared_ptr<const ScanResult> shared_result() const { return result_; }
 
    private:
     friend class Study;

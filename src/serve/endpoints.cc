@@ -1,0 +1,603 @@
+#include "serve/endpoints.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "core/coverage.h"
+#include "core/set_cover.h"
+#include "traffic/demand.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace wsd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Instrumentation. One counter + latency histogram per endpoint, hoisted
+// into statics so the registry lock is not taken per request.
+
+struct EndpointMetrics {
+  Counter& requests;
+  LatencyHistogram& latency;
+};
+
+EndpointMetrics MakeEndpointMetrics(const char* endpoint) {
+  auto& reg = MetricsRegistry::Global();
+  return EndpointMetrics{
+      reg.GetCounter(StrFormat("wsd.serve.%s.requests", endpoint)),
+      reg.GetHistogram(StrFormat("wsd.serve.%s.latency_seconds", endpoint)),
+  };
+}
+
+EndpointMetrics& MetricsFor(std::string_view path) {
+  static EndpointMetrics spread = MakeEndpointMetrics("spread");
+  static EndpointMetrics setcover = MakeEndpointMetrics("setcover");
+  static EndpointMetrics demand = MakeEndpointMetrics("demand");
+  static EndpointMetrics graph = MakeEndpointMetrics("graph");
+  static EndpointMetrics metrics = MakeEndpointMetrics("metrics");
+  static EndpointMetrics healthz = MakeEndpointMetrics("healthz");
+  static EndpointMetrics other = MakeEndpointMetrics("other");
+  if (path == "/spread") return spread;
+  if (path == "/setcover") return setcover;
+  if (path == "/demand") return demand;
+  if (path == "/graph") return graph;
+  if (path == "/metrics") return metrics;
+  if (path == "/healthz") return healthz;
+  return other;
+}
+
+// ---------------------------------------------------------------------
+// Parameter parsing (same vocabulary as the wsdctl flags).
+
+std::optional<Domain> ParseDomainName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "books") return Domain::kBooks;
+  if (lower == "restaurants") return Domain::kRestaurants;
+  if (lower == "automotive") return Domain::kAutomotive;
+  if (lower == "banks") return Domain::kBanks;
+  if (lower == "libraries") return Domain::kLibraries;
+  if (lower == "schools") return Domain::kSchools;
+  if (lower == "hotels") return Domain::kHotels;
+  if (lower == "retail") return Domain::kRetail;
+  if (lower == "home") return Domain::kHomeGarden;
+  return std::nullopt;
+}
+
+std::optional<Attribute> ParseAttributeName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "phone") return Attribute::kPhone;
+  if (lower == "homepage") return Attribute::kHomepage;
+  if (lower == "isbn") return Attribute::kIsbn;
+  if (lower == "reviews") return Attribute::kReviews;
+  return std::nullopt;
+}
+
+std::optional<TrafficSite> ParseSiteName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "amazon") return TrafficSite::kAmazon;
+  if (lower == "yelp") return TrafficSite::kYelp;
+  if (lower == "imdb") return TrafficSite::kImdb;
+  return std::nullopt;
+}
+
+void Fail(HttpResponse* resp, int status, std::string_view message) {
+  resp->status = status;
+  resp->content_type = "application/json";
+  resp->body = StrFormat("{\"error\":\"%.*s\"}\n",
+                         static_cast<int>(message.size()), message.data());
+}
+
+// Pulls the shared (seed, scale) overrides out of the query; a malformed
+// value is a 400, not a silent default.
+bool ParseSeedScale(const HttpRequest& req, const StudyOptions& base,
+                    uint64_t* seed, double* scale, HttpResponse* resp) {
+  *seed = base.seed;
+  *scale = base.scale;
+  if (auto v = req.QueryParam("seed")) {
+    const auto parsed = ParseUint64(*v);
+    if (!parsed.has_value()) {
+      Fail(resp, 400, "invalid seed parameter");
+      return false;
+    }
+    *seed = *parsed;
+  }
+  if (auto v = req.QueryParam("scale")) {
+    const auto parsed = ParseDouble(*v);
+    if (!parsed.has_value() || *parsed <= 0 || *parsed > 64) {
+      Fail(resp, 400, "invalid scale parameter (want 0 < scale <= 64)");
+      return false;
+    }
+    *scale = *parsed;
+  }
+  return true;
+}
+
+bool ParseDomainAttr(const HttpRequest& req, Domain* domain, Attribute* attr,
+                     HttpResponse* resp) {
+  const auto d = ParseDomainName(req.QueryParam("domain").value_or(""));
+  const auto a = ParseAttributeName(req.QueryParam("attr").value_or(""));
+  if (!d.has_value()) {
+    Fail(resp, 400,
+         "missing or unknown domain parameter (books|restaurants|automotive|"
+         "banks|libraries|schools|hotels|retail|home)");
+    return false;
+  }
+  if (!a.has_value()) {
+    Fail(resp, 400,
+         "missing or unknown attr parameter (phone|homepage|isbn|reviews)");
+    return false;
+  }
+  *domain = *d;
+  *attr = *a;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// JSON helpers. The values serialized here are ASCII identifiers and
+// bin labels; escaping covers quotes/backslashes/control bytes anyway.
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendFormat(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// ---------------------------------------------------------------------
+// Endpoint handlers.
+
+void HandleSpread(ServeContext& ctx, const HttpRequest& req,
+                  HttpResponse* resp) {
+  Domain domain;
+  Attribute attr;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  if (!ParseDomainAttr(req, &domain, &attr, resp)) return;
+  if (!ParseSeedScale(req, ctx.base, &seed, &scale, resp)) return;
+  uint32_t max_k = 10;
+  if (auto v = req.QueryParam("k")) {
+    const auto parsed = ParseUint64(*v);
+    if (!parsed.has_value() || *parsed < 1 || *parsed > 32) {
+      Fail(resp, 400, "invalid k parameter (want 1..32)");
+      return;
+    }
+    max_k = static_cast<uint32_t>(*parsed);
+  }
+
+  auto scan = ctx.cache->Get({domain, attr, seed, scale});
+  if (!scan.ok()) {
+    Fail(resp, 503, scan.status().message());
+    return;
+  }
+  StudyOptions options = ctx.base;
+  options.seed = seed;
+  options.scale = scale;
+  auto curve = ComputeKCoverage(
+      (*scan)->table, options.ScaledEntities(), max_k,
+      DefaultCoverageTValues(
+          static_cast<uint32_t>((*scan)->table.num_hosts())));
+  if (!curve.ok()) {
+    Fail(resp, 400, curve.status().message());
+    return;
+  }
+  const WireFormat format = NegotiateFormat(req);
+  resp->content_type =
+      format == WireFormat::kTsv ? "text/tab-separated-values" : "application/json";
+  resp->body = SpreadBody(domain, attr, *curve, format);
+}
+
+void HandleSetCover(ServeContext& ctx, const HttpRequest& req,
+                    HttpResponse* resp) {
+  Domain domain;
+  Attribute attr;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  if (!ParseDomainAttr(req, &domain, &attr, resp)) return;
+  if (!ParseSeedScale(req, ctx.base, &seed, &scale, resp)) return;
+
+  auto scan = ctx.cache->Get({domain, attr, seed, scale});
+  if (!scan.ok()) {
+    Fail(resp, 503, scan.status().message());
+    return;
+  }
+  StudyOptions options = ctx.base;
+  options.seed = seed;
+  options.scale = scale;
+  auto curve = GreedySetCover(
+      (*scan)->table, options.ScaledEntities(),
+      DefaultCoverageTValues(
+          static_cast<uint32_t>((*scan)->table.num_hosts())));
+  if (!curve.ok()) {
+    Fail(resp, 503, curve.status().message());
+    return;
+  }
+  const WireFormat format = NegotiateFormat(req);
+  resp->content_type =
+      format == WireFormat::kTsv ? "text/tab-separated-values" : "application/json";
+  resp->body = SetCoverBody(domain, attr, *curve, format);
+}
+
+void HandleGraph(ServeContext& ctx, const HttpRequest& req,
+                 HttpResponse* resp) {
+  Domain domain;
+  Attribute attr;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  if (!ParseDomainAttr(req, &domain, &attr, resp)) return;
+  if (!ParseSeedScale(req, ctx.base, &seed, &scale, resp)) return;
+
+  auto scan = ctx.cache->Get({domain, attr, seed, scale});
+  if (!scan.ok()) {
+    Fail(resp, 503, scan.status().message());
+    return;
+  }
+  StudyOptions options = ctx.base;
+  options.seed = seed;
+  options.scale = scale;
+  // Serial on purpose: requests are already parallel across connections,
+  // and sharing one pool across requests would serialize them anyway.
+  auto row = ComputeGraphMetrics(domain, attr, (*scan)->table,
+                                 options.ScaledEntities(), nullptr);
+  if (!row.ok()) {
+    Fail(resp, 503, row.status().message());
+    return;
+  }
+  const WireFormat format = NegotiateFormat(req);
+  resp->content_type =
+      format == WireFormat::kTsv ? "text/tab-separated-values" : "application/json";
+  resp->body = GraphBody(*row, format);
+}
+
+void HandleDemand(ServeContext& ctx, const HttpRequest& req,
+                  HttpResponse* resp) {
+  const auto site = ParseSiteName(req.QueryParam("site").value_or("yelp"));
+  if (!site.has_value()) {
+    Fail(resp, 400, "unknown site parameter (amazon|yelp|imdb)");
+    return;
+  }
+  uint64_t seed = 0;
+  double scale = 1.0;
+  if (!ParseSeedScale(req, ctx.base, &seed, &scale, resp)) return;
+
+  const std::tuple<int, uint64_t, double> key(static_cast<int>(*site), seed,
+                                              scale);
+  std::shared_ptr<const Study::ValueStudyResult> result;
+  {
+    std::unique_lock<std::mutex> lock(ctx.demand_mu);
+    auto it = ctx.demand_memo.find(key);
+    if (it != ctx.demand_memo.end()) result = it->second;
+  }
+  if (result == nullptr) {
+    StudyOptions options = ctx.base;
+    options.seed = seed;
+    options.scale = scale;
+    options.threads = 1;  // value studies are single-threaded anyway
+    Study study(options);
+    auto computed = study.RunValueStudy(*site);
+    if (!computed.ok()) {
+      Fail(resp, 503, computed.status().message());
+      return;
+    }
+    result = std::make_shared<const Study::ValueStudyResult>(
+        std::move(computed).value());
+    std::unique_lock<std::mutex> lock(ctx.demand_mu);
+    ctx.demand_memo.emplace(key, result);
+  }
+  const WireFormat format = NegotiateFormat(req);
+  resp->content_type =
+      format == WireFormat::kTsv ? "text/tab-separated-values" : "application/json";
+  resp->body = DemandBody(*result, format);
+}
+
+void HandleMetrics(const HttpRequest& req, HttpResponse* resp) {
+  if (req.QueryParam("format").value_or("prom") == "json") {
+    resp->content_type = "application/json";
+    resp->body = MetricsRegistry::Global().ToJson();
+    resp->body += "\n";
+  } else {
+    resp->content_type = "text/plain; version=0.0.4";
+    resp->body = MetricsRegistry::Global().ToPrometheus();
+  }
+}
+
+struct ResponseCacheMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& evictions;
+  Gauge& bytes;
+  Gauge& entries;
+
+  static ResponseCacheMetrics& Get() {
+    auto& reg = MetricsRegistry::Global();
+    static ResponseCacheMetrics metrics{
+        reg.GetCounter("wsd.serve.response_cache.hits"),
+        reg.GetCounter("wsd.serve.response_cache.misses"),
+        reg.GetCounter("wsd.serve.response_cache.evictions"),
+        reg.GetGauge("wsd.serve.response_cache.bytes"),
+        reg.GetGauge("wsd.serve.response_cache.entries"),
+    };
+    return metrics;
+  }
+};
+
+bool CacheableEndpoint(std::string_view path) {
+  return path == "/spread" || path == "/setcover" || path == "/graph" ||
+         path == "/demand";
+}
+
+// The negotiated format is part of the cache identity: two requests with
+// the same target but different Accept headers render differently.
+std::string ResponseCacheKey(const HttpRequest& req, WireFormat format) {
+  std::string key = req.target;
+  key.push_back('\x01');
+  key += format == WireFormat::kTsv ? "tsv" : "json";
+  return key;
+}
+
+}  // namespace
+
+bool ResponseCache::Lookup(const std::string& key, HttpResponse* resp) {
+  auto& metrics = ResponseCacheMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    metrics.misses.Increment();
+    return false;
+  }
+  it->second.last_used = ++tick_;
+  resp->status = 200;
+  resp->content_type = it->second.content_type;
+  resp->body = it->second.body;
+  ++hits_;
+  metrics.hits.Increment();
+  return true;
+}
+
+void ResponseCache::Insert(const std::string& key, const HttpResponse& resp) {
+  auto& metrics = ResponseCacheMetrics::Get();
+  Entry entry;
+  entry.body = resp.body;
+  entry.content_type = resp.content_type;
+  entry.bytes = key.size() + entry.body.size() + entry.content_type.size();
+  std::unique_lock<std::mutex> lock(mu_);
+  entry.last_used = ++tick_;
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  if (!inserted) return;  // another thread rendered the same response
+  total_bytes_ += it->second.bytes;
+  while (total_bytes_ > max_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    metrics.evictions.Increment();
+  }
+  metrics.bytes.Set(static_cast<double>(total_bytes_));
+  metrics.entries.Set(static_cast<double>(entries_.size()));
+}
+
+ResponseCache::Stats ResponseCache::GetStats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = total_bytes_;
+  return stats;
+}
+
+WireFormat NegotiateFormat(const HttpRequest& req) {
+  if (auto v = req.QueryParam("format")) {
+    if (EqualsIgnoreCase(*v, "tsv")) return WireFormat::kTsv;
+    return WireFormat::kJson;
+  }
+  if (auto accept = req.Header("accept")) {
+    if (accept->find("text/tab-separated-values") != std::string_view::npos ||
+        accept->find("text/tsv") != std::string_view::npos) {
+      return WireFormat::kTsv;
+    }
+  }
+  return WireFormat::kJson;
+}
+
+std::string SpreadBody(Domain domain, Attribute attr,
+                       const CoverageCurve& curve, WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kTsv) {
+    out = "t";
+    for (size_t k = 1; k <= curve.k_coverage.size(); ++k) {
+      AppendFormat(&out, "\tk%zu", k);
+    }
+    out += "\n";
+    for (size_t i = 0; i < curve.t_values.size(); ++i) {
+      AppendFormat(&out, "%u", curve.t_values[i]);
+      for (const auto& series : curve.k_coverage) {
+        AppendFormat(&out, "\t%.6f", series[i]);
+      }
+      out += "\n";
+    }
+    return out;
+  }
+  out = "{\"domain\":";
+  AppendJsonString(&out, DomainName(domain));
+  out += ",\"attr\":";
+  AppendJsonString(&out, AttributeName(attr));
+  AppendFormat(&out, ",\"num_entities\":%u,\"num_sites\":%u,\"t\":[",
+               curve.num_entities, curve.num_sites);
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    AppendFormat(&out, "%s%u", i ? "," : "", curve.t_values[i]);
+  }
+  out += "],\"k_coverage\":[";
+  for (size_t k = 0; k < curve.k_coverage.size(); ++k) {
+    out += k ? ",[" : "[";
+    const auto& series = curve.k_coverage[k];
+    for (size_t i = 0; i < series.size(); ++i) {
+      AppendFormat(&out, "%s%.6f", i ? "," : "", series[i]);
+    }
+    out += "]";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string SetCoverBody(Domain domain, Attribute attr,
+                         const SetCoverCurve& curve, WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kTsv) {
+    out = "t\tgreedy\tby_size\n";
+    for (size_t i = 0; i < curve.t_values.size(); ++i) {
+      AppendFormat(&out, "%u\t%.6f\t%.6f\n", curve.t_values[i],
+                   curve.greedy_coverage[i], curve.size_coverage[i]);
+    }
+    return out;
+  }
+  out = "{\"domain\":";
+  AppendJsonString(&out, DomainName(domain));
+  out += ",\"attr\":";
+  AppendJsonString(&out, AttributeName(attr));
+  AppendFormat(&out, ",\"num_entities\":%u,\"t\":[", curve.num_entities);
+  for (size_t i = 0; i < curve.t_values.size(); ++i) {
+    AppendFormat(&out, "%s%u", i ? "," : "", curve.t_values[i]);
+  }
+  out += "],\"greedy\":[";
+  for (size_t i = 0; i < curve.greedy_coverage.size(); ++i) {
+    AppendFormat(&out, "%s%.6f", i ? "," : "", curve.greedy_coverage[i]);
+  }
+  out += "],\"by_size\":[";
+  for (size_t i = 0; i < curve.size_coverage.size(); ++i) {
+    AppendFormat(&out, "%s%.6f", i ? "," : "", curve.size_coverage[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string GraphBody(const GraphMetricsRow& row, WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kTsv) {
+    out = "domain\tattr\tavg_sites_per_entity\tdiameter\tcomponents\t"
+          "largest_pct\n";
+    AppendFormat(&out, "%s\t%s\t%.2f\t%u\t%u\t%.4f\n",
+                 std::string(DomainName(row.domain)).c_str(),
+                 std::string(AttributeName(row.attr)).c_str(),
+                 row.avg_sites_per_entity, row.diameter, row.num_components,
+                 row.largest_component_entity_pct);
+    return out;
+  }
+  out = "{\"domain\":";
+  AppendJsonString(&out, DomainName(row.domain));
+  out += ",\"attr\":";
+  AppendJsonString(&out, AttributeName(row.attr));
+  AppendFormat(&out,
+               ",\"avg_sites_per_entity\":%.2f,\"diameter\":%u,"
+               "\"components\":%u,\"largest_pct\":%.4f,"
+               "\"covered_entities\":%u,\"sites\":%u,\"edges\":%llu}\n",
+               row.avg_sites_per_entity, row.diameter, row.num_components,
+               row.largest_component_entity_pct, row.num_covered_entities,
+               row.num_sites,
+               static_cast<unsigned long long>(row.num_edges));
+  return out;
+}
+
+std::string DemandBody(const Study::ValueStudyResult& result,
+                       WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kTsv) {
+    out = "bin\tentities\tsearch_z\tbrowse_z\trel_va_search\trel_va_browse\n";
+    for (const auto& bin : result.bins) {
+      AppendFormat(&out, "%s\t%llu\t%.6f\t%.6f\t%.6f\t%.6f\n",
+                   bin.label.c_str(),
+                   static_cast<unsigned long long>(bin.num_entities),
+                   bin.mean_search_z, bin.mean_browse_z, bin.rel_va_search,
+                   bin.rel_va_browse);
+    }
+    return out;
+  }
+  out = "{\"site\":";
+  AppendJsonString(&out, TrafficSiteName(result.site));
+  AppendFormat(&out, ",\"head20_search\":%.6f,\"head20_browse\":%.6f,\"bins\":[",
+               result.head20_search, result.head20_browse);
+  bool first = true;
+  for (const auto& bin : result.bins) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"bin\":";
+    AppendJsonString(&out, bin.label);
+    AppendFormat(&out,
+                 ",\"entities\":%llu,\"search_z\":%.6f,\"browse_z\":%.6f,"
+                 "\"rel_va_search\":%.6f,\"rel_va_browse\":%.6f}",
+                 static_cast<unsigned long long>(bin.num_entities),
+                 bin.mean_search_z, bin.mean_browse_z, bin.rel_va_search,
+                 bin.rel_va_browse);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void HandleRequest(ServeContext& ctx, const HttpRequest& req,
+                   HttpResponse* resp) {
+  static Counter& total_requests =
+      MetricsRegistry::Global().GetCounter("wsd.serve.requests");
+  static Counter& total_errors =
+      MetricsRegistry::Global().GetCounter("wsd.serve.errors");
+  total_requests.Increment();
+  EndpointMetrics& endpoint = MetricsFor(req.path);
+  endpoint.requests.Increment();
+  const Timer timer;
+
+  *resp = HttpResponse{};
+  if (req.method != "GET") {
+    resp->status = 405;
+    resp->extra_headers.emplace_back("Allow", "GET");
+    resp->content_type = "application/json";
+    resp->body = "{\"error\":\"method not allowed\"}\n";
+  } else if (req.path == "/healthz") {
+    resp->content_type = "text/plain";
+    resp->body = "ok\n";
+  } else if (req.path == "/metrics") {
+    HandleMetrics(req, resp);
+  } else if (CacheableEndpoint(req.path)) {
+    // Analysis responses are deterministic in (target, format, base
+    // options), so a rendered body never goes stale and the memo needs
+    // no invalidation.
+    const std::string key = ResponseCacheKey(req, NegotiateFormat(req));
+    if (!ctx.responses.Lookup(key, resp)) {
+      if (req.path == "/spread") {
+        HandleSpread(ctx, req, resp);
+      } else if (req.path == "/setcover") {
+        HandleSetCover(ctx, req, resp);
+      } else if (req.path == "/graph") {
+        HandleGraph(ctx, req, resp);
+      } else {
+        HandleDemand(ctx, req, resp);
+      }
+      if (resp->status == 200) ctx.responses.Insert(key, *resp);
+    }
+  } else {
+    Fail(resp, 404, "no such endpoint");
+  }
+  if (resp->status >= 400) total_errors.Increment();
+  endpoint.latency.Record(timer.ElapsedSeconds());
+}
+
+}  // namespace wsd

@@ -1,0 +1,290 @@
+#include "serve/http.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+// RFC 7230 token characters, the legal alphabet for methods and header
+// names.
+bool IsTokenChar(char c) {
+  if (IsAlnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+// Control bytes (other than HTAB inside header values) are never legal
+// in the header block.
+bool HasForbiddenCtl(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](char c) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    return (u < 0x20 && c != '\t') || u == 0x7f;
+  });
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+HttpParseResult Malformed(std::string detail) {
+  HttpParseResult r;
+  r.state = HttpParseState::kError;
+  r.error_code = 400;
+  r.error = std::move(detail);
+  return r;
+}
+
+HttpParseResult TooLarge(std::string detail) {
+  HttpParseResult r;
+  r.state = HttpParseState::kError;
+  r.error_code = 413;
+  r.error = std::move(detail);
+  return r;
+}
+
+// Splits one header-block line off `rest` (terminated by CRLF or a bare
+// LF — hand-written clients often send the latter). Returns false when
+// no full line is buffered yet.
+bool TakeLine(std::string_view* rest, std::string_view* line) {
+  const size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) return false;
+  *line = rest->substr(0, nl);
+  if (!line->empty() && line->back() == '\r') line->remove_suffix(1);
+  rest->remove_prefix(nl + 1);
+  return true;
+}
+
+void ParseQuery(std::string_view raw, HttpRequest* request) {
+  for (std::string_view pair : SplitSkipEmpty(raw, '&')) {
+    const size_t eq = pair.find('=');
+    std::string_view key = pair.substr(0, eq);
+    std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+    request->query.emplace_back(PercentDecode(key, /*plus_as_space=*/true),
+                                PercentDecode(value, /*plus_as_space=*/true));
+  }
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view s, bool plus_as_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+' && plus_as_space) {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < s.size()) {
+      const int hi = HexVal(s[i + 1]);
+      const int lo = HexVal(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);  // stray '%': pass through, do not reject
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string_view> HttpRequest::Header(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> HttpRequest::QueryParam(
+    std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+HttpParseResult ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits) {
+  // Locate the end of the header block first: an empty line. The scan is
+  // bounded — if no terminator shows up within max_header_bytes, the
+  // request is oversized no matter what else it contains.
+  const std::string_view head_window =
+      buffer.substr(0, std::min(buffer.size(), limits.max_header_bytes));
+  size_t header_end = std::string_view::npos;  // offset just past terminator
+  {
+    size_t pos = 0;
+    while (pos < head_window.size()) {
+      const size_t nl = head_window.find('\n', pos);
+      if (nl == std::string_view::npos) break;
+      std::string_view line = head_window.substr(pos, nl - pos);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.empty()) {
+        header_end = nl + 1;
+        break;
+      }
+      pos = nl + 1;
+    }
+  }
+  if (header_end == std::string_view::npos) {
+    if (buffer.size() >= limits.max_header_bytes) {
+      return TooLarge("header block exceeds max_header_bytes");
+    }
+    HttpParseResult r;
+    r.state = HttpParseState::kNeedMore;
+    return r;
+  }
+
+  std::string_view rest = buffer.substr(0, header_end);
+  std::string_view line;
+
+  // ---- Request line: METHOD SP TARGET SP HTTP/x.y
+  if (!TakeLine(&rest, &line)) return Malformed("missing request line");
+  if (line.empty()) return Malformed("empty request line");
+  if (HasForbiddenCtl(line)) return Malformed("control byte in request line");
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Malformed("request line is not 'METHOD TARGET VERSION'");
+  }
+  HttpParseResult result;
+  HttpRequest& request = result.request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(request.method)) return Malformed("invalid method token");
+  if (request.target.empty() || request.target.find(' ') != std::string::npos) {
+    return Malformed("invalid request target");
+  }
+  if (version == "HTTP/1.1") {
+    request.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request.version_minor = 0;
+  } else {
+    return Malformed("unsupported HTTP version '" + std::string(version) +
+                     "'");
+  }
+
+  // ---- Header fields.
+  while (TakeLine(&rest, &line)) {
+    if (line.empty()) break;  // end of header block
+    if (HasForbiddenCtl(line)) return Malformed("control byte in header");
+    if (line.front() == ' ' || line.front() == '\t') {
+      return Malformed("obsolete header folding is not supported");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Malformed("header line without ':'");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) return Malformed("invalid header name");
+    if (request.headers.size() >= limits.max_headers) {
+      return TooLarge("too many header fields");
+    }
+    request.headers.emplace_back(ToLower(name),
+                                 std::string(Trim(line.substr(colon + 1))));
+  }
+
+  // ---- Body framing. Only Content-Length is supported; chunked bodies
+  // are rejected rather than half-parsed.
+  if (auto te = request.Header("transfer-encoding"); te.has_value()) {
+    return Malformed("transfer-encoding is not supported");
+  }
+  size_t content_length = 0;
+  if (auto cl = request.Header("content-length"); cl.has_value()) {
+    const auto parsed = ParseUint64(*cl);
+    if (!parsed.has_value()) return Malformed("unparseable content-length");
+    // A second, conflicting Content-Length is request smuggling bait.
+    for (const auto& [key, value] : request.headers) {
+      if (key == "content-length" && value != *cl) {
+        return Malformed("conflicting content-length headers");
+      }
+    }
+    if (*parsed > limits.max_body_bytes) {
+      return TooLarge("declared body exceeds max_body_bytes");
+    }
+    content_length = static_cast<size_t>(*parsed);
+  }
+  if (buffer.size() - header_end < content_length) {
+    HttpParseResult need;
+    need.state = HttpParseState::kNeedMore;
+    return need;
+  }
+  request.body = std::string(buffer.substr(header_end, content_length));
+  result.consumed = header_end + content_length;
+
+  // ---- Decoded path + query.
+  const std::string_view target = request.target;
+  const size_t qmark = target.find('?');
+  request.path =
+      PercentDecode(target.substr(0, qmark), /*plus_as_space=*/false);
+  if (qmark != std::string_view::npos) {
+    ParseQuery(target.substr(qmark + 1), &request);
+  }
+
+  // ---- Connection semantics.
+  const bool http11 = request.version_minor == 1;
+  request.keep_alive = http11;
+  if (auto conn = request.Header("connection"); conn.has_value()) {
+    if (EqualsIgnoreCase(Trim(*conn), "close")) {
+      request.keep_alive = false;
+    } else if (EqualsIgnoreCase(Trim(*conn), "keep-alive")) {
+      request.keep_alive = true;
+    }
+  }
+
+  result.state = HttpParseState::kOk;
+  return result;
+}
+
+std::string_view HttpStatusReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& resp) {
+  std::string out;
+  out.reserve(resp.body.size() + 256);
+  AppendFormat(&out, "HTTP/1.1 %d %s\r\n", resp.status,
+               std::string(HttpStatusReason(resp.status)).c_str());
+  AppendFormat(&out, "Content-Type: %s\r\n", resp.content_type.c_str());
+  AppendFormat(&out, "Content-Length: %zu\r\n", resp.body.size());
+  for (const auto& [name, value] : resp.extra_headers) {
+    AppendFormat(&out, "%s: %s\r\n", name.c_str(), value.c_str());
+  }
+  if (resp.close) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace wsd

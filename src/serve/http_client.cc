@@ -1,0 +1,155 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace wsd {
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  host_ = host;
+  port_ = port;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument(StrFormat("bad host '%s'", host.c_str()));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        StrFormat("connect %s:%u: %s", host.c_str(), port,
+                  std::strerror(errno)));
+    Disconnect();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+StatusOr<HttpClientResponse> HttpClient::Get(
+    const std::string& target, const std::vector<std::string>& extra_headers) {
+  if (fd_ < 0) {
+    WSD_RETURN_IF_ERROR(Connect(host_, port_));
+  }
+  std::string request;
+  AppendFormat(&request, "GET %s HTTP/1.1\r\nHost: %s:%u\r\n", target.c_str(),
+               host_.c_str(), port_);
+  for (const std::string& header : extra_headers) {
+    request += header;
+    request += "\r\n";
+  }
+  request += "\r\n";
+  {
+    std::string_view pending = request;
+    while (!pending.empty()) {
+      const ssize_t n =
+          ::send(fd_, pending.data(), pending.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status =
+            Status::IOError(StrFormat("send: %s", std::strerror(errno)));
+        Disconnect();
+        return status;
+      }
+      pending.remove_prefix(static_cast<size_t>(n));
+    }
+  }
+
+  // Read until the header block and the declared body are buffered.
+  char chunk[8192];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  HttpClientResponse response;
+  for (;;) {
+    if (header_end == std::string::npos) {
+      for (const char* sep : {"\r\n\r\n", "\n\n"}) {
+        const size_t at = buf_.find(sep);
+        if (at != std::string::npos) {
+          header_end = at + std::strlen(sep);
+          break;
+        }
+      }
+      if (header_end != std::string::npos) {
+        // Parse status line + the two headers we rely on.
+        const std::string head = buf_.substr(0, header_end);
+        const size_t sp = head.find(' ');
+        if (sp == std::string::npos) {
+          Disconnect();
+          return Status::Corruption("malformed status line");
+        }
+        const auto code = ParseUint64(
+            Trim(std::string_view(head).substr(sp + 1, 3)));
+        if (!code.has_value()) {
+          Disconnect();
+          return Status::Corruption("malformed status code");
+        }
+        response.status = static_cast<int>(*code);
+        for (std::string_view line : Split(head, '\n')) {
+          if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+          const size_t colon = line.find(':');
+          if (colon == std::string_view::npos) continue;
+          const std::string name = ToLower(Trim(line.substr(0, colon)));
+          const std::string_view value = Trim(line.substr(colon + 1));
+          if (name == "content-length") {
+            const auto parsed = ParseUint64(value);
+            if (!parsed.has_value()) {
+              Disconnect();
+              return Status::Corruption("bad content-length");
+            }
+            content_length = static_cast<size_t>(*parsed);
+          } else if (name == "content-type") {
+            response.content_type = std::string(value);
+          } else if (name == "connection" &&
+                     EqualsIgnoreCase(value, "close")) {
+            response.connection_close = true;
+          }
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        buf_.size() - header_end >= content_length) {
+      break;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect();
+    return Status::IOError(
+        n == 0 ? "server closed connection mid-response"
+               : StrFormat("recv: %s", std::strerror(errno)));
+  }
+  response.body = buf_.substr(header_end, content_length);
+  buf_.erase(0, header_end + content_length);
+  if (response.connection_close) Disconnect();
+  return response;
+}
+
+}  // namespace wsd

@@ -1,0 +1,59 @@
+/// \file http_client.h
+/// A deliberately small blocking HTTP/1.1 client — just enough to drive
+/// `wsdd` from tests (loopback round-trips) and bench_serve (load
+/// generation over keep-alive connections). Supports GET with
+/// Content-Length responses only, which is everything wsdd emits.
+
+#ifndef WSD_SERVE_HTTP_CLIENT_H_
+#define WSD_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+  bool connection_close = false;
+};
+
+/// One TCP connection. Get() may be called repeatedly (keep-alive);
+/// after a response carrying "Connection: close" the next Get()
+/// reconnects transparently.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
+
+  /// Issues `GET target` with optional extra headers ("Name: value"
+  /// lines, no CRLF) and reads the full response.
+  [[nodiscard]] StatusOr<HttpClientResponse> Get(
+      const std::string& target,
+      const std::vector<std::string>& extra_headers = {});
+
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  std::string host_;
+  uint16_t port_ = 0;
+  int fd_ = -1;
+  std::string buf_;  // bytes past the previous response (pipelining-safe)
+};
+
+}  // namespace wsd
+
+#endif  // WSD_SERVE_HTTP_CLIENT_H_

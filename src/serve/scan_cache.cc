@@ -1,0 +1,134 @@
+#include "serve/scan_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace wsd {
+
+namespace {
+
+struct CacheMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& evictions;
+  Gauge& bytes;
+  Gauge& entries;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* m = [] {
+      auto& reg = MetricsRegistry::Global();
+      return new CacheMetrics{
+          reg.GetCounter("wsd.serve.scan_cache.hits"),
+          reg.GetCounter("wsd.serve.scan_cache.misses"),
+          reg.GetCounter("wsd.serve.scan_cache.evictions"),
+          reg.GetGauge("wsd.serve.scan_cache.bytes"),
+          reg.GetGauge("wsd.serve.scan_cache.entries"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+size_t ApproxScanResultBytes(const ScanResult& result) {
+  size_t bytes = sizeof(ScanResult);
+  for (const HostRecord& host : result.table.hosts()) {
+    bytes += sizeof(HostRecord);
+    bytes += host.host.capacity();
+    bytes += host.entities.capacity() * sizeof(EntityPages);
+  }
+  return bytes;
+}
+
+ScanHandleCache::ScanHandleCache(const StudyOptions& base, size_t max_bytes)
+    : base_(base), max_bytes_(max_bytes) {}
+
+StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
+    const Key& key) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        it->second.last_used = ++tick_;
+        ++hits_;
+        metrics.hits.Increment();
+        return it->second.result;
+      }
+      if (inflight_.count(key) == 0) break;
+      // Another thread is scanning this key; wait for it to finish and
+      // re-check (its scan may have failed, in which case we retry).
+      inflight_cv_.wait(lock);
+    }
+    inflight_.insert(key);
+    ++misses_;
+  }
+  metrics.misses.Increment();
+
+  // Scan outside the lock. An ephemeral Study resolves through its own
+  // memo and the on-disk ArtifactStore exactly like a CLI run would; we
+  // then keep only the shared result so the memo does not pin memory.
+  StudyOptions options = base_;
+  options.seed = key.seed;
+  options.scale = key.scale;
+  StatusOr<std::shared_ptr<const ScanResult>> outcome = [&] {
+    Study study(options);
+    auto handle = study.Scan(key.domain, key.attr);
+    if (!handle.ok()) {
+      return StatusOr<std::shared_ptr<const ScanResult>>(handle.status());
+    }
+    return StatusOr<std::shared_ptr<const ScanResult>>(
+        handle->shared_result());
+  }();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    if (outcome.ok()) {
+      Entry entry;
+      entry.result = *outcome;
+      entry.bytes = ApproxScanResultBytes(*entry.result);
+      entry.last_used = ++tick_;
+      total_bytes_ += entry.bytes;
+      entries_[key] = std::move(entry);
+      EvictLocked();
+      metrics.bytes.Set(static_cast<double>(total_bytes_));
+      metrics.entries.Set(static_cast<double>(entries_.size()));
+    }
+    inflight_cv_.notify_all();
+  }
+  return outcome;
+}
+
+void ScanHandleCache::EvictLocked() {
+  while (total_bytes_ > max_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    WSD_LOG(kInfo) << "scan_cache: evicting " << DomainName(victim->first.domain)
+                  << "/" << AttributeName(victim->first.attr) << " ("
+                  << victim->second.bytes << " bytes)";
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    CacheMetrics::Get().evictions.Increment();
+  }
+}
+
+ScanHandleCache::Stats ScanHandleCache::GetStats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.bytes = total_bytes_;
+  return s;
+}
+
+}  // namespace wsd

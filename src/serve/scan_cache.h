@@ -1,0 +1,114 @@
+/// \file scan_cache.h
+/// Shared ScanResult cache for the analysis server. `wsdd` handles many
+/// concurrent requests over a small set of (domain, attr, seed, scale)
+/// corpora; this cache admits one entry per key, resolves misses through
+/// the normal Study chain (in-memory memo -> on-disk ArtifactStore ->
+/// live scan), and evicts least-recently-used entries once a byte budget
+/// is exceeded. Concurrent misses on the same key are deduplicated: the
+/// first caller scans, the rest block on a condition variable and share
+/// the result.
+///
+/// Unlike a long-lived Study (whose memo pins every result it ever
+/// produced), the cache builds an *ephemeral* Study per miss and keeps
+/// only the shared_ptr<const ScanResult>, so LRU eviction genuinely
+/// releases memory.
+
+#ifndef WSD_SERVE_SCAN_CACHE_H_
+#define WSD_SERVE_SCAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "core/study.h"
+#include "entity/domains.h"
+#include "extract/scan_pipeline.h"
+#include "util/statusor.h"
+
+namespace wsd {
+
+/// Approximate resident bytes of a scan result (host strings + entity
+/// vectors + fixed struct overhead). Used for the cache byte budget;
+/// exact malloc accounting is not the point — relative sizes are.
+size_t ApproxScanResultBytes(const ScanResult& result);
+
+/// LRU cache of shared scan results keyed by (domain, attr, seed,
+/// scale). Thread-safe. Misses run a real scan via an ephemeral Study
+/// configured from `base` options with the key's seed/scale overrides,
+/// so artifact_dir / num_entities / legacy_scan are honored.
+class ScanHandleCache {
+ public:
+  struct Key {
+    Domain domain = Domain::kBooks;
+    Attribute attr = Attribute::kIsbn;
+    uint64_t seed = 42;
+    double scale = 1.0;
+
+    bool operator<(const Key& o) const {
+      return std::tie(domain, attr, seed, scale) <
+             std::tie(o.domain, o.attr, o.seed, o.scale);
+    }
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  /// `base` supplies num_entities / threads / artifact_dir /
+  /// legacy_scan; seed and scale come from each key. `max_bytes` is the
+  /// eviction threshold; the most recently used entry is never evicted,
+  /// so even a zero budget keeps exactly one result resident.
+  ScanHandleCache(const StudyOptions& base, size_t max_bytes);
+
+  ScanHandleCache(const ScanHandleCache&) = delete;
+  ScanHandleCache& operator=(const ScanHandleCache&) = delete;
+
+  /// The cached (or freshly scanned) result for `key`. Blocks if another
+  /// thread is already scanning the same key. Scan failures are returned
+  /// to every waiter and not cached.
+  [[nodiscard]] StatusOr<std::shared_ptr<const ScanResult>> Get(
+      const Key& key);
+
+  /// Point-in-time counters (also mirrored into wsd.serve.scan_cache.*
+  /// registry metrics).
+  Stats GetStats() const;
+
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ScanResult> result;
+    size_t bytes = 0;
+    uint64_t last_used = 0;  // LRU tick
+  };
+
+  /// Drops LRU entries until total_bytes_ <= max_bytes_. Caller holds
+  /// mu_.
+  void EvictLocked();
+
+  const StudyOptions base_;
+  const size_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;
+  std::map<Key, Entry> entries_;
+  std::set<Key> inflight_;  // keys some thread is currently scanning
+  uint64_t tick_ = 0;
+  size_t total_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace wsd
+
+#endif  // WSD_SERVE_SCAN_CACHE_H_

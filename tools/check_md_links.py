@@ -1,10 +1,19 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links resolve to real files.
+"""Check that relative markdown links resolve to real files and anchors.
 
 Scans the repo's markdown files for inline links ``[text](target)`` and
-fails if a relative target (after stripping any ``#anchor``) does not
-exist on disk. External (``http://``, ``https://``, ``mailto:``) and
-pure-anchor links are skipped — CI must not depend on network access.
+fails if:
+
+* a relative target (after stripping any ``#anchor``) does not exist on
+  disk, or
+* a fragment (``#section-slug``, same-file or ``file.md#section-slug``)
+  does not match any heading in the target markdown file.
+
+Heading anchors use GitHub's slugification: lowercase, punctuation
+stripped, spaces become hyphens, and duplicate slugs get ``-1``/``-2``
+suffixes. Headings inside fenced code blocks are ignored (a ``# comment``
+in a shell snippet is not a heading). External (``http://``, ``https://``,
+``mailto:``) links are skipped — CI must not depend on network access.
 
 Usage: python3 tools/check_md_links.py [root]
 """
@@ -15,8 +24,42 @@ from pathlib import Path
 
 # Inline links; [text](target "title") titles are stripped below.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+# Inline markup stripped from heading text before slugification.
+MARKUP_RE = re.compile(r"[*_`]|\[([^\]]*)\]\([^)]*\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "build", "docs/api", "third_party"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (sans duplicate suffix)."""
+    text = MARKUP_RE.sub(lambda m: m.group(1) or "", heading)
+    text = text.strip().lower()
+    # Keep word characters, spaces, and hyphens; drop other punctuation.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set:
+    """All anchor slugs defined by a markdown document."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.lstrip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def markdown_files(root: Path):
@@ -30,26 +73,44 @@ def markdown_files(root: Path):
 def check(root: Path) -> int:
     broken = []
     checked = 0
+    anchors_checked = 0
+    anchor_cache = {}
+
+    def anchors_of(path: Path) -> set:
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(
+                path.read_text(encoding="utf-8", errors="replace"))
+        return anchor_cache[path]
+
     for md in markdown_files(root):
         text = md.read_text(encoding="utf-8", errors="replace")
         for match in LINK_RE.finditer(text):
             target = match.group(1)
-            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            if target.startswith(SKIP_PREFIXES):
                 continue
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue
-            resolved = (md.parent / path_part).resolve()
-            checked += 1
-            if not resolved.exists():
-                line = text[: match.start()].count("\n") + 1
-                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+            path_part, _, fragment = target.partition("#")
+            line = text[: match.start()].count("\n") + 1
+            if path_part:
+                resolved = (md.parent / path_part).resolve()
+                checked += 1
+                if not resolved.exists():
+                    broken.append(f"{md.relative_to(root)}:{line}: {target}")
+                    continue
+            else:
+                resolved = md
+            if fragment and resolved.suffix == ".md":
+                anchors_checked += 1
+                if fragment.lower() not in anchors_of(resolved):
+                    broken.append(
+                        f"{md.relative_to(root)}:{line}: {target} "
+                        f"(no heading with anchor #{fragment})")
     if broken:
         print("check_md_links: broken relative links:", file=sys.stderr)
         for entry in broken:
             print(f"  {entry}", file=sys.stderr)
         return 1
-    print(f"check_md_links: {checked} relative links OK")
+    print(f"check_md_links: {checked} relative links OK, "
+          f"{anchors_checked} anchors OK")
     return 0
 
 
