@@ -14,9 +14,18 @@
 //   wsd.scan.bench.legacy_pages_per_sec
 //   wsd.scan.bench.kernel_speedup
 // so a committed BENCH_scan.json records the measured speedup.
+//
+// The snapshot-load trio (BM_SnapshotDecodeV1 / BM_SnapshotParseV2 /
+// BM_SnapshotMmapLoad) compares the varint decoder against the aligned
+// parser and the zero-copy mmap load of the same scan result, publishing
+//   wsd.store.bench.v1_decode_mb_per_sec
+//   wsd.store.bench.v2_parse_mb_per_sec
+//   wsd.store.bench.mmap_load_mb_per_sec
+//   wsd.store.bench.mmap_speedup_vs_v1
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <map>
 #include <memory>
 
@@ -27,6 +36,7 @@
 #include "extract/review_detector.h"
 #include "extract/scan_pipeline.h"
 #include "html/text_extract.h"
+#include "store/snapshot.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -211,6 +221,108 @@ void BM_PageScanLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_PageScanLegacy);
 
+// ---------------------------------------------------------------------
+// Snapshot load ablation: v1 varint decode vs. v2 aligned parse vs. the
+// zero-copy mmap load, all over the same phone-scan result. items ==
+// snapshots; bytes == serialized size per iteration.
+
+const ScanResult& SnapshotResult() {
+  static const ScanResult* result = [] {
+    const ScanPipeline pipeline(WebOf(Attribute::kPhone), PoolOf(8));
+    auto run = pipeline.Run();
+    return new ScanResult(std::move(run).value());
+  }();
+  return *result;
+}
+
+SnapshotMeta BenchSnapshotMeta() {
+  SnapshotMeta meta;
+  meta.domain = Domain::kRestaurants;
+  meta.attr = Attribute::kPhone;
+  meta.num_entities = g_smoke ? 150 : 2000;
+  meta.seed = 99;
+  meta.scale_bits = CanonicalScaleBits(1.0);
+  return meta;
+}
+
+void PublishLoadRate(const char* gauge, uint64_t bytes, double seconds) {
+  if (seconds > 0.0) {
+    MetricsRegistry::Global().GetGauge(gauge).Set(
+        static_cast<double>(bytes) / seconds / (1024.0 * 1024.0));
+  }
+}
+
+void BM_SnapshotDecodeV1(benchmark::State& state) {
+  const auto bytes = SerializeSnapshot(SnapshotResult());
+  uint64_t processed = 0;
+  const Timer timer;
+  for (auto _ : state) {
+    auto parsed = ParseSnapshot(*bytes);
+    if (!parsed.ok()) {
+      state.SkipWithError("v1 parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(parsed->table.num_hosts());
+    processed += bytes->size();
+  }
+  PublishLoadRate("wsd.store.bench.v1_decode_mb_per_sec", processed,
+                  timer.ElapsedSeconds());
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(processed));
+}
+BENCHMARK(BM_SnapshotDecodeV1);
+
+void BM_SnapshotParseV2(benchmark::State& state) {
+  const auto bytes =
+      SerializeSnapshotAligned(SnapshotResult(), BenchSnapshotMeta());
+  uint64_t processed = 0;
+  const Timer timer;
+  for (auto _ : state) {
+    auto parsed = ParseSnapshotFull(*bytes);
+    if (!parsed.ok()) {
+      state.SkipWithError("v2 parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(parsed->result.table.num_hosts());
+    processed += bytes->size();
+  }
+  PublishLoadRate("wsd.store.bench.v2_parse_mb_per_sec", processed,
+                  timer.ElapsedSeconds());
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(processed));
+}
+BENCHMARK(BM_SnapshotParseV2);
+
+void BM_SnapshotMmapLoad(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wsd_bench_scan.wsdsnap")
+          .string();
+  const Status written =
+      WriteSnapshotFileAligned(path, SnapshotResult(), BenchSnapshotMeta());
+  if (!written.ok()) {
+    state.SkipWithError("could not write snapshot");
+    return;
+  }
+  const uint64_t file_size = std::filesystem::file_size(path);
+  uint64_t processed = 0;
+  const Timer timer;
+  for (auto _ : state) {
+    auto loaded = LoadSnapshotFile(path);
+    if (!loaded.ok()) {
+      state.SkipWithError("mmap load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->result.table.num_hosts());
+    processed += file_size;
+  }
+  PublishLoadRate("wsd.store.bench.mmap_load_mb_per_sec", processed,
+                  timer.ElapsedSeconds());
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(processed));
+}
+BENCHMARK(BM_SnapshotMmapLoad);
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN() so --smoke / --metrics_out
@@ -232,6 +344,16 @@ int main(int argc, char** argv) {
     registry.GetGauge("wsd.scan.bench.kernel_speedup").Set(kernel / legacy);
     std::cout << "\nscan kernel ablation: " << kernel / legacy
               << "x pages/sec vs. legacy (phone corpus, 1 thread)\n";
+  }
+  const double v1_decode =
+      registry.GetGauge("wsd.store.bench.v1_decode_mb_per_sec").value();
+  const double mmap_load =
+      registry.GetGauge("wsd.store.bench.mmap_load_mb_per_sec").value();
+  if (v1_decode > 0.0 && mmap_load > 0.0) {
+    registry.GetGauge("wsd.store.bench.mmap_speedup_vs_v1")
+        .Set(mmap_load / v1_decode);
+    std::cout << "snapshot load ablation: " << mmap_load / v1_decode
+              << "x MB/sec mmap (v2) vs. buffered varint decode (v1)\n";
   }
   ::benchmark::Shutdown();
   return 0;

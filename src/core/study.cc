@@ -142,6 +142,29 @@ StatusOr<Study::ScanHandle> Study::Scan(Domain domain, Attribute attr) {
   return ScanHandle(domain, attr, std::move(shared));
 }
 
+StatusOr<ScanResult> Study::RunShardScan(Domain domain, Attribute attr,
+                                         const ShardSpec& shard) {
+  if (options_.legacy_scan && !shard.whole()) {
+    return Status::InvalidArgument(
+        "sharded scans run the kernel path only; unset WSD_LEGACY_SCAN "
+        "(the frozen legacy oracle has no shard support)");
+  }
+  auto web = BuildWeb(domain, attr);
+  if (!web.ok()) return web.status();
+
+  const ReviewDetector* detector = nullptr;
+  if (attr == Attribute::kReviews) {
+    if (!detector_.has_value()) {
+      auto built = ReviewDetector::CreateDefault(options_.seed ^ 0xdecafULL);
+      if (!built.ok()) return built.status();
+      detector_.emplace(std::move(built).value());
+    }
+    detector = &*detector_;
+  }
+  const ScanPipeline pipeline(*web, *pool_, detector);
+  return pipeline.Run(shard);
+}
+
 StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
   auto scan = Scan(domain, attr);
   if (!scan.ok()) return scan.status();

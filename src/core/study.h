@@ -102,6 +102,17 @@ class Study {
   /// table.
   [[nodiscard]] StatusOr<ScanResult> RunScan(Domain domain, Attribute attr);
 
+  /// Scans one hash-partitioned corpus slice (see ShardSpec), uncached:
+  /// the memo and the artifact store describe whole-corpus scans, so a
+  /// shard result deliberately bypasses both — its snapshot lives
+  /// wherever the caller writes it (`wsdctl scan --shard --out`) and
+  /// `wsdctl merge` recombines the slices. Always runs the streaming
+  /// kernel; sharding the frozen legacy oracle is unsupported and a
+  /// non-whole spec with options().legacy_scan set is InvalidArgument.
+  [[nodiscard]] StatusOr<ScanResult> RunShardScan(Domain domain,
+                                                  Attribute attr,
+                                                  const ShardSpec& shard);
+
   /// Figures 1-3: scan + k-coverage curves.
   struct SpreadResult {
     CoverageCurve curve;

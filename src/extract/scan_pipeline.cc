@@ -9,6 +9,7 @@
 #include "html/text_extract.h"
 #include "text/tokenizer.h"
 #include "util/metrics.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace wsd {
@@ -154,11 +155,37 @@ void ScanHostPages(const SyntheticWeb& web, SiteId s,
   *review_pages += local_reviews;
 }
 
-StatusOr<ScanResult> ScanPipeline::Run() const {
+StatusOr<ShardSpec> ShardSpec::Parse(std::string_view spec) {
+  const auto err = [&spec]() {
+    return Status::InvalidArgument(
+        "malformed shard spec '" + std::string(spec) +
+        "'; expected i/n with 1 <= i <= n (e.g. --shard 3/8)");
+  };
+  const size_t slash = spec.find('/');
+  if (slash == std::string_view::npos) return err();
+  const auto index = ParseUint64(spec.substr(0, slash));
+  const auto count = ParseUint64(spec.substr(slash + 1));
+  if (!index.has_value() || !count.has_value()) return err();
+  if (*count == 0 || *index == 0 || *index > *count ||
+      *count > UINT32_MAX) {
+    return err();
+  }
+  ShardSpec shard;
+  shard.index = static_cast<uint32_t>(*index - 1);
+  shard.count = static_cast<uint32_t>(*count);
+  return shard;
+}
+
+StatusOr<ScanResult> ScanPipeline::Run() const { return Run(ShardSpec{}); }
+
+StatusOr<ScanResult> ScanPipeline::Run(const ShardSpec& shard) const {
   const Attribute attr = web_.config().attr;
   if (attr == Attribute::kReviews && detector_ == nullptr) {
     return Status::InvalidArgument(
         "review scan requires a ReviewDetector");
+  }
+  if (shard.count == 0 || shard.index >= shard.count) {
+    return Status::InvalidArgument("shard index out of range");
   }
 
   Timer timer;
@@ -171,27 +198,34 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
 
   std::atomic<uint64_t> mentions{0};
   std::atomic<uint64_t> review_pages{0};
+  std::atomic<uint64_t> owned_hosts{0};
   std::atomic<size_t> max_scratch_bytes{0};
   LatencyHistogram& shard_seconds =
       MetricsRegistry::Global().GetHistogram("wsd.scan.shard_seconds");
 
   // Hosts are disjoint, so each iteration owns records[s] exclusively.
-  // One ScanScratch per shard; counters stay shard-local and merge once
-  // per shard. Only the shard wall time is recorded into the registry
-  // from inside the parallel region.
+  // One ScanScratch per pool shard; counters stay shard-local and merge
+  // once per pool shard. Only the shard wall time is recorded into the
+  // registry from inside the parallel region. Hosts outside the corpus
+  // slice are skipped before any page is rendered; their default-empty
+  // records are dropped by PruneEmptyHosts below.
   ParallelForShards(pool_, 0, num_hosts, [&](size_t /*shard*/, size_t lo,
                                              size_t hi) {
     const ScopedTimer shard_timer(shard_seconds);
     ScanScratch scratch;
     uint64_t local_mentions = 0;
     uint64_t local_reviews = 0;
+    uint64_t local_owned = 0;
     for (size_t s = lo; s < hi; ++s) {
+      if (!shard.Owns(web.host(static_cast<SiteId>(s)))) continue;
+      ++local_owned;
       ScanHostPages(web, static_cast<SiteId>(s), matcher, detector,
                     &scratch, &records[s], &local_mentions,
                     &local_reviews);
     }
     mentions.fetch_add(local_mentions, std::memory_order_relaxed);
     review_pages.fetch_add(local_reviews, std::memory_order_relaxed);
+    owned_hosts.fetch_add(local_owned, std::memory_order_relaxed);
     const size_t footprint = scratch.MemoryFootprint();
     size_t seen = max_scratch_bytes.load(std::memory_order_relaxed);
     while (seen < footprint &&
@@ -202,7 +236,7 @@ StatusOr<ScanResult> ScanPipeline::Run() const {
 
   ScanResult result;
   result.table = HostEntityTable(std::move(records));
-  result.stats.hosts_scanned = num_hosts;
+  result.stats.hosts_scanned = owned_hosts.load();
   for (size_t i = 0; i < result.table.num_hosts(); ++i) {
     result.stats.pages_scanned += result.table.host(i).pages_scanned;
     result.stats.bytes_scanned += result.table.host(i).bytes_scanned;

@@ -11,10 +11,35 @@
 #include "extract/host_table.h"
 #include "extract/matcher.h"
 #include "extract/review_detector.h"
+#include "util/hash.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
 namespace wsd {
+
+/// One slice of a hash-partitioned corpus: the hosts with
+/// Fnv1a64(host) % count == index. Host names are the partition key
+/// because they are stable across processes and machines (site ids are
+/// an artifact of one web's construction order), so independent
+/// `wsdctl scan --shard i/n` runs cover the corpus disjointly and
+/// exhaustively, and `wsdctl merge` can re-verify ownership from the
+/// names alone. The default spec is the whole corpus.
+struct ShardSpec {
+  uint32_t index = 0;  // 0-based
+  uint32_t count = 1;
+
+  bool whole() const { return count <= 1; }
+
+  /// True when this shard is responsible for `host`.
+  bool Owns(std::string_view host) const {
+    return count <= 1 || Fnv1a64(host) % count == index;
+  }
+
+  /// Parses the 1-based CLI form "i/n" (i in [1, n], n >= 1), e.g.
+  /// "3/8" is slice index 2 of 8. "0/4", "5/4" and non-numeric specs
+  /// are InvalidArgument.
+  [[nodiscard]] static StatusOr<ShardSpec> Parse(std::string_view spec);
+};
 
 /// Scan statistics, reported alongside the table. Every field is a view
 /// over the global MetricsRegistry's `wsd.scan.*` counters: when a scan
@@ -90,6 +115,13 @@ class ScanPipeline {
   /// zero steady-state allocation per page). Fails if a review scan
   /// lacks a detector.
   [[nodiscard]] StatusOr<ScanResult> Run() const;
+
+  /// Runs the scan over one hash-partitioned corpus slice: hosts the
+  /// spec does not own are skipped entirely (no pages rendered) and
+  /// contribute nothing to the table or stats, so the per-shard results
+  /// of a complete {1..n} sweep sum/merge to exactly the monolithic
+  /// scan (see store/merge.h). Run() is Run(ShardSpec{}).
+  [[nodiscard]] StatusOr<ScanResult> Run(const ShardSpec& shard) const;
 
   /// The pre-kernel implementation: value-returning extractors, per-page
   /// string/vector materialization and a per-host std::map. Kept as the

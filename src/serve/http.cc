@@ -213,8 +213,16 @@ HttpParseResult ParseHttpRequest(std::string_view buffer,
   }
   size_t content_length = 0;
   if (auto cl = request.Header("content-length"); cl.has_value()) {
+    // Content-Length is 1*DIGIT (RFC 9110 §8.6) and nothing else.
+    // ParseUint64 already rejects a leading '+', internal whitespace and
+    // values past UINT64_MAX; UINT64_MAX itself is additionally rejected
+    // here so a parsed length can never alias an overflow sentinel in any
+    // downstream arithmetic. All three are a 400, not a 413: the header
+    // is malformed or meaningless, not an honest oversized declaration.
     const auto parsed = ParseUint64(*cl);
-    if (!parsed.has_value()) return Malformed("unparseable content-length");
+    if (!parsed.has_value() || *parsed == UINT64_MAX) {
+      return Malformed("unparseable content-length");
+    }
     // A second, conflicting Content-Length is request smuggling bait.
     for (const auto& [key, value] : request.headers) {
       if (key == "content-length" && value != *cl) {

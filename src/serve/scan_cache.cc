@@ -13,6 +13,7 @@ struct CacheMetrics {
   Counter& hits;
   Counter& misses;
   Counter& evictions;
+  Counter& oversized_admits;
   Gauge& bytes;
   Gauge& entries;
 
@@ -23,6 +24,7 @@ struct CacheMetrics {
           reg.GetCounter("wsd.serve.scan_cache.hits"),
           reg.GetCounter("wsd.serve.scan_cache.misses"),
           reg.GetCounter("wsd.serve.scan_cache.evictions"),
+          reg.GetCounter("wsd.serve.scan_cache.oversized_admits"),
           reg.GetGauge("wsd.serve.scan_cache.bytes"),
           reg.GetGauge("wsd.serve.scan_cache.entries"),
       };
@@ -94,6 +96,15 @@ StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
       entry.bytes = ApproxScanResultBytes(*entry.result);
       entry.last_used = ++tick_;
       total_bytes_ += entry.bytes;
+      if (entry.bytes > max_bytes_) {
+        ++oversized_admits_;
+        metrics.oversized_admits.Increment();
+        WSD_LOG(kWarning)
+            << "scan_cache: admitting oversized entry for "
+            << DomainName(key.domain) << "/" << AttributeName(key.attr)
+            << " (" << entry.bytes << " bytes > budget " << max_bytes_
+            << "); it will be evicted as soon as another key is used";
+      }
       entries_[key] = std::move(entry);
       EvictLocked();
       metrics.bytes.Set(static_cast<double>(total_bytes_));
@@ -126,6 +137,7 @@ ScanHandleCache::Stats ScanHandleCache::GetStats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.oversized_admits = oversized_admits_;
   s.entries = entries_.size();
   s.bytes = total_bytes_;
   return s;

@@ -59,6 +59,7 @@ class ScanHandleCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t oversized_admits = 0;
     size_t entries = 0;
     size_t bytes = 0;
   };
@@ -67,6 +68,15 @@ class ScanHandleCache {
   /// legacy_scan; seed and scale come from each key. `max_bytes` is the
   /// eviction threshold; the most recently used entry is never evicted,
   /// so even a zero budget keeps exactly one result resident.
+  ///
+  /// An entry larger than the whole budget is still admitted: the server
+  /// has to hold the result in memory to answer the request anyway, so
+  /// rejecting it would only force every future hit on that key to
+  /// rescan while saving nothing on the peak. Such entries ride the
+  /// MRU-never-evicted rule — they are evicted the moment any other key
+  /// becomes MRU — and each admission is flagged via Stats::
+  /// oversized_admits and the wsd.serve.scan_cache.oversized_admits
+  /// counter so a misconfigured budget is observable.
   ScanHandleCache(const StudyOptions& base, size_t max_bytes);
 
   ScanHandleCache(const ScanHandleCache&) = delete;
@@ -107,6 +117,7 @@ class ScanHandleCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t oversized_admits_ = 0;
 };
 
 }  // namespace wsd

@@ -26,10 +26,14 @@ std::string HexU64(uint64_t v) {
 }  // namespace
 
 std::string ArtifactKey::CanonicalString() const {
-  uint64_t scale_bits = 0;
-  static_assert(sizeof(scale_bits) == sizeof(scale));
-  std::memcpy(&scale_bits, &scale, sizeof(scale_bits));
-  std::string out = "wsdsnap-v" + std::to_string(kSnapshotSchemaVersion);
+  // Canonicalized, not raw-memcpy'd: -0.0 and 0.0 (and every NaN
+  // spelling) are the same scale, so they must address the same artifact
+  // — raw bits produced duplicate artifacts and spurious cold scans.
+  const uint64_t scale_bits = CanonicalScaleBits(scale);
+  // Keyed on the version Store() writes, so a layout change re-addresses
+  // the cache instead of misreading stale files.
+  std::string out =
+      "wsdsnap-v" + std::to_string(kSnapshotSchemaVersionAligned);
   out += "|domain=";
   out += DomainName(domain);
   out += "|attr=";
@@ -53,6 +57,30 @@ std::string ArtifactKey::Filename() const {
   return out;
 }
 
+SnapshotMeta ArtifactKey::Meta() const {
+  SnapshotMeta meta;
+  meta.domain = domain;
+  meta.attr = attr;
+  meta.num_entities = num_entities;
+  meta.seed = seed;
+  meta.scale_bits = CanonicalScaleBits(scale);
+  meta.legacy_scan = legacy_scan;
+  meta.shard_index = 0;
+  meta.shard_count = 1;
+  return meta;
+}
+
+ArtifactKey ArtifactKey::FromMeta(const SnapshotMeta& meta) {
+  ArtifactKey key;
+  key.domain = meta.domain;
+  key.attr = meta.attr;
+  key.num_entities = meta.num_entities;
+  key.seed = meta.seed;
+  std::memcpy(&key.scale, &meta.scale_bits, sizeof(key.scale));
+  key.legacy_scan = meta.legacy_scan;
+  return key;
+}
+
 std::string ArtifactStore::PathFor(const ArtifactKey& key) const {
   return (std::filesystem::path(dir_) / key.Filename()).string();
 }
@@ -73,25 +101,31 @@ StatusOr<ScanResult> ArtifactStore::Load(const ArtifactKey& key) const {
     misses.Increment();
     return Status::NotFound("no artifact for " + key.CanonicalString());
   }
-  auto bytes = ReadFileToString(path);
-  if (!bytes.ok()) {
-    verify_failures.Increment();
-    WSD_LOG(kWarning) << "artifact " << path << " unreadable ("
-                      << bytes.status().ToString()
-                      << "); falling back to live scan";
-    return bytes.status();
-  }
-  auto result = ParseSnapshot(*bytes);
-  if (!result.ok()) {
+  auto loaded = LoadSnapshotFile(path);
+  if (!loaded.ok()) {
     verify_failures.Increment();
     WSD_LOG(kWarning) << "artifact " << path << " failed verification ("
-                      << result.status().ToString()
+                      << loaded.status().ToString()
                       << "); falling back to live scan";
-    return result.status();
+    return loaded.status();
+  }
+  // An aligned snapshot names its own scan inputs; a file that does not
+  // match the key it sits under (copied, renamed, forged — including a
+  // merged shard installed under the wrong key) is corruption, not a
+  // hit. v1 artifacts carry no provenance to check.
+  if (loaded->meta.has_value() && !(*loaded->meta == key.Meta())) {
+    verify_failures.Increment();
+    WSD_LOG(kWarning) << "artifact " << path
+                      << " provenance does not match its key; falling "
+                         "back to live scan";
+    return Status::Corruption("artifact provenance mismatch for " +
+                              key.CanonicalString());
   }
   hits.Increment();
-  read_bytes.Increment(bytes->size());
-  return result;
+  std::error_code size_ec;
+  const auto file_size = std::filesystem::file_size(path, size_ec);
+  if (!size_ec) read_bytes.Increment(file_size);
+  return std::move(loaded->result);
 }
 
 Status ArtifactStore::Store(const ArtifactKey& key,
@@ -100,7 +134,7 @@ Status ArtifactStore::Store(const ArtifactKey& key,
       MetricsRegistry::Global().GetCounter("wsd.artifact.write_bytes");
 
   WSD_RETURN_IF_ERROR(EnsureDirectory(dir_));
-  auto bytes = SerializeSnapshot(result);
+  auto bytes = SerializeSnapshotAligned(result, key.Meta());
   if (!bytes.ok()) return bytes.status();
   WSD_RETURN_IF_ERROR(WriteFileAtomic(PathFor(key), *bytes));
   write_bytes.Increment(bytes->size());

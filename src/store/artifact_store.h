@@ -24,14 +24,24 @@ struct ArtifactKey {
   bool legacy_scan = false;
 
   /// Canonical textual form of the key, including the snapshot schema
-  /// version. `scale` is rendered as raw IEEE-754 bits so distinct
-  /// doubles never alias.
+  /// version. `scale` is rendered as CanonicalScaleBits so every double
+  /// spelling of the same numeric value (-0.0 vs 0.0, NaN payloads) maps
+  /// to one key — distinct *values* still never alias.
   std::string CanonicalString() const;
 
   /// Cache filename: "<domain>-<attr>-<hash16>.wsdsnap", where hash16 is
   /// the XXH64 of CanonicalString() in hex. The readable prefix is for
   /// humans poking at the cache dir; only the hash carries identity.
   std::string Filename() const;
+
+  /// The provenance written into this key's snapshots (monolithic: shard
+  /// 0 of 1).
+  SnapshotMeta Meta() const;
+
+  /// Reconstructs the key a snapshot's provenance describes — how
+  /// `wsdctl merge --artifacts` installs a merged snapshot under the key
+  /// a future Study will look up.
+  static ArtifactKey FromMeta(const SnapshotMeta& meta);
 };
 
 /// Content-addressed cache of scan snapshots in one directory. All
@@ -41,6 +51,13 @@ struct ArtifactKey {
 /// computation — any miss, unreadable file or corrupt snapshot comes back
 /// as a non-OK Status the caller answers with a live scan. Store failures
 /// are likewise advisory: the freshly scanned result is still in hand.
+///
+/// Snapshots are written in the aligned (v2) format with provenance and
+/// loaded through the zero-copy mmap path (wsd.store.mmap_loads); v1
+/// artifacts from older builds still load via the buffered decoder. A
+/// loaded snapshot's provenance must match the requested key — a file
+/// whose content disagrees with its name (copied, renamed, forged) is a
+/// verify failure, not a hit.
 ///
 /// Counters (docs/METRICS.md): wsd.artifact.hits / misses /
 /// verify_failures / read_bytes / write_bytes.

@@ -19,6 +19,7 @@
 #include "serve/http_client.h"
 #include "serve/scan_cache.h"
 #include "serve/server.h"
+#include "util/metrics.h"
 
 namespace wsd {
 namespace {
@@ -87,6 +88,37 @@ TEST(HttpParse, MalformedHeaders) {
     EXPECT_EQ(r.state, HttpParseState::kError) << raw;
     EXPECT_EQ(r.error_code, 400) << raw;
   }
+}
+
+TEST(HttpParse, ContentLengthMustBePlainDigits) {
+  // RFC 9110 §8.6: Content-Length is 1*DIGIT. A sign, internal
+  // whitespace, or an out-of-range value are all malformed (400) rather
+  // than an honest oversized declaration (413) — and UINT64_MAX itself
+  // is rejected so a parsed length can never alias an overflow sentinel.
+  for (const char* raw :
+       {"GET / HTTP/1.1\r\nContent-Length: +5\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 5 5\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 1\t2\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length:\r\n\r\n"}) {
+    const auto r = ParseHttpRequest(raw, TestLimits());
+    EXPECT_EQ(r.state, HttpParseState::kError) << raw;
+    EXPECT_EQ(r.error_code, 400) << raw;
+  }
+  // Plain digits still parse (surrounding optional whitespace is header
+  // value trimming, not part of the number).
+  const auto ok = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", TestLimits());
+  ASSERT_EQ(ok.state, HttpParseState::kOk);
+  EXPECT_EQ(ok.request.body, "hello");
+  const auto zero = ParseHttpRequest(
+      "GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n", TestLimits());
+  ASSERT_EQ(zero.state, HttpParseState::kOk);
+  EXPECT_TRUE(zero.request.body.empty());
 }
 
 TEST(HttpParse, OversizedHeaderBlockFailsClosedEarly) {
@@ -385,6 +417,44 @@ TEST(ScanCache, HitMissEvictionCounters) {
   stats = cache.GetStats();
   EXPECT_EQ(stats.misses, 3u);
   EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(ScanCache, OversizedEntryIsAdmittedAndFlagged) {
+  StudyOptions options = SmallOptions();
+  // Every real entry dwarfs a one-byte budget: admission must still
+  // succeed (the server already holds the result to answer), be counted
+  // as oversized, and ride the MRU-never-evicted rule — exactly one
+  // entry resident at a time.
+  ScanHandleCache cache(options, 1);
+  const ScanHandleCache::Key books{Domain::kBooks, Attribute::kIsbn,
+                                   options.seed, options.scale};
+  const ScanHandleCache::Key rest{Domain::kRestaurants, Attribute::kPhone,
+                                  options.seed, options.scale};
+
+  const uint64_t counter0 = MetricsRegistry::Global()
+                                .GetCounter("wsd.serve.scan_cache.oversized_admits")
+                                .value();
+  auto first = cache.Get(books);
+  ASSERT_TRUE(first.ok());
+  ScanHandleCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.oversized_admits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, cache.max_bytes());
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter("wsd.serve.scan_cache.oversized_admits")
+                .value(),
+            counter0 + 1);
+
+  // The oversized entry still serves hits while it is MRU...
+  ASSERT_TRUE(cache.Get(books).ok());
+  EXPECT_EQ(cache.GetStats().hits, 1u);
+
+  // ...and is evicted the moment another key takes MRU.
+  ASSERT_TRUE(cache.Get(rest).ok());
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.oversized_admits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
 }
 
 TEST(ScanCache, ConcurrentMissesDeduplicate) {

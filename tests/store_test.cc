@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -190,12 +191,126 @@ TEST(SnapshotTest, RejectsVersionSkewWithClearStatus) {
   auto bytes = SerializeSnapshot(MakeResult());
   ASSERT_TRUE(bytes.ok());
   std::string bumped = *bytes;
-  bumped[8] = static_cast<char>(kSnapshotSchemaVersion + 1);  // version u32
+  bumped[8] = 9;  // version u32: neither v1 (compact) nor v2 (aligned)
   auto parsed = ParseSnapshot(bumped);
   ASSERT_FALSE(parsed.ok());
   EXPECT_TRUE(parsed.status().IsCorruption());
   EXPECT_NE(parsed.status().message().find("version"), std::string::npos)
       << parsed.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// Aligned (v2) snapshots.
+
+SnapshotMeta MakeMeta() {
+  SnapshotMeta meta;
+  meta.domain = Domain::kBanks;
+  meta.attr = Attribute::kPhone;
+  meta.num_entities = 300;
+  meta.seed = 3;
+  meta.scale_bits = CanonicalScaleBits(0.05);
+  meta.legacy_scan = false;
+  meta.shard_index = 0;
+  meta.shard_count = 1;
+  return meta;
+}
+
+TEST(SnapshotAlignedTest, RoundTripIsBitIdenticalAndCarriesMeta) {
+  const ScanResult original = MakeResult();
+  const SnapshotMeta meta = MakeMeta();
+  auto bytes = SerializeSnapshotAligned(original, meta);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseSnapshotFull(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(original, parsed->result);
+  ASSERT_TRUE(parsed->meta.has_value());
+  EXPECT_TRUE(*parsed->meta == meta);
+  // Canonical encoding: re-serializing reproduces the same bytes.
+  auto bytes2 = SerializeSnapshotAligned(parsed->result, *parsed->meta);
+  ASSERT_TRUE(bytes2.ok());
+  EXPECT_EQ(*bytes, *bytes2);
+}
+
+TEST(SnapshotAlignedTest, CompactParserAlsoReadsAligned) {
+  // ParseSnapshot dispatches on the version word, so v2 bytes decode via
+  // the plain entry point too (meta is simply dropped).
+  auto bytes = SerializeSnapshotAligned(MakeResult(), MakeMeta());
+  ASSERT_TRUE(bytes.ok());
+  auto parsed = ParseSnapshot(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(MakeResult(), *parsed);
+}
+
+TEST(SnapshotAlignedTest, EveryTruncationFailsClosed) {
+  auto bytes = SerializeSnapshotAligned(MakeResult(), MakeMeta());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    auto parsed = ParseSnapshotFull(std::string_view(bytes->data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_TRUE(ParseSnapshotFull(*bytes + "x").status().IsCorruption());
+}
+
+TEST(SnapshotAlignedTest, EveryByteFlipFailsClosed) {
+  auto bytes = SerializeSnapshotAligned(MakeResult(), MakeMeta());
+  ASSERT_TRUE(bytes.ok());
+  // Padding bytes sit inside both the section length and the checksum,
+  // so even a flipped pad byte must fail.
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    std::string corrupt = *bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    auto parsed = ParseSnapshotFull(corrupt);
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " parsed";
+  }
+}
+
+TEST(SnapshotAlignedTest, MmapLoadMatchesBufferedParseAndCounts) {
+  const std::string dir = FreshDir("mmap");
+  ASSERT_TRUE(fs::create_directories(dir));
+  const std::string path = dir + "/snap.wsdsnap";
+  const ScanResult original = MakeResult();
+  const SnapshotMeta meta = MakeMeta();
+  ASSERT_TRUE(WriteSnapshotFileAligned(path, original, meta).ok());
+
+  const uint64_t mmaps0 = CounterValue("wsd.store.mmap_loads");
+  const uint64_t falls0 = CounterValue("wsd.store.mmap_fallbacks");
+  auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(CounterValue("wsd.store.mmap_loads"), mmaps0 + 1);
+  EXPECT_EQ(CounterValue("wsd.store.mmap_fallbacks"), falls0);
+  ExpectSameResult(original, loaded->result);
+  ASSERT_TRUE(loaded->meta.has_value());
+  EXPECT_TRUE(*loaded->meta == meta);
+
+  // A compact (v1) file takes the buffered fallback, not an error.
+  const std::string v1_path = dir + "/snap_v1.wsdsnap";
+  ASSERT_TRUE(WriteSnapshotFile(v1_path, original).ok());
+  auto v1_loaded = LoadSnapshotFile(v1_path);
+  ASSERT_TRUE(v1_loaded.ok()) << v1_loaded.status();
+  EXPECT_EQ(CounterValue("wsd.store.mmap_fallbacks"), falls0 + 1);
+  ExpectSameResult(original, v1_loaded->result);
+  EXPECT_FALSE(v1_loaded->meta.has_value());
+
+  // A truncated v2 file is an error on the mmap path — never a crash,
+  // never a silent fallback (the bytes would be just as corrupt there).
+  auto bytes = SerializeSnapshotAligned(original, meta);
+  ASSERT_TRUE(bytes.ok());
+  const std::string cut_path = dir + "/cut.wsdsnap";
+  {
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out << bytes->substr(0, bytes->size() / 2);
+  }
+  EXPECT_TRUE(LoadSnapshotFile(cut_path).status().IsCorruption());
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotAlignedTest, CanonicalScaleBitsCollapsesAliases) {
+  EXPECT_EQ(CanonicalScaleBits(0.0), CanonicalScaleBits(-0.0));
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  const double signaling_nan = std::numeric_limits<double>::signaling_NaN();
+  EXPECT_EQ(CanonicalScaleBits(quiet_nan), CanonicalScaleBits(-quiet_nan));
+  EXPECT_EQ(CanonicalScaleBits(quiet_nan), CanonicalScaleBits(signaling_nan));
+  EXPECT_NE(CanonicalScaleBits(1.0), CanonicalScaleBits(2.0));
 }
 
 TEST(SnapshotTest, RejectsForeignAndTrailingBytes) {
@@ -235,6 +350,31 @@ TEST(ArtifactKeyTest, FilenameTracksEveryField) {
   other.attr = Attribute::kHomepage;
   EXPECT_NE(other.Filename(), base);
   EXPECT_EQ(ArtifactKey(key).Filename(), base);
+}
+
+// Regression: the key hashes the raw IEEE bits of `scale`, so the bit
+// aliases of a numeric value (-0.0 vs +0.0, NaN payload variants) must
+// be canonicalized first or equal scales would map to distinct
+// artifacts.
+TEST(ArtifactKeyTest, ScaleBitAliasesShareOneKey) {
+  ArtifactKey key;
+  key.num_entities = 2000;
+  key.seed = 42;
+  key.scale = 0.0;
+  ArtifactKey negzero = key;
+  negzero.scale = -0.0;
+  EXPECT_EQ(key.Filename(), negzero.Filename());
+  EXPECT_EQ(key.CanonicalString(), negzero.CanonicalString());
+
+  ArtifactKey qnan = key;
+  qnan.scale = std::numeric_limits<double>::quiet_NaN();
+  ArtifactKey snan = key;
+  snan.scale = std::numeric_limits<double>::signaling_NaN();
+  ArtifactKey neg_qnan = key;
+  neg_qnan.scale = -std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(qnan.Filename(), snan.Filename());
+  EXPECT_EQ(qnan.Filename(), neg_qnan.Filename());
+  EXPECT_NE(qnan.Filename(), key.Filename());  // NaN is still its own key
 }
 
 TEST(ArtifactStoreTest, MissThenStoreThenHit) {
@@ -283,6 +423,34 @@ TEST(ArtifactStoreTest, CorruptArtifactCountsVerifyFailure) {
   EXPECT_FALSE(store.Load(key).ok());
   EXPECT_EQ(CounterValue("wsd.artifact.verify_failures"), failures0 + 1);
   EXPECT_EQ(CounterValue("wsd.artifact.hits"), hits0);
+  fs::remove_all(dir);
+}
+
+// A stored snapshot carries its provenance, and Load cross-checks it
+// against the requested key: a file that answers to the wrong key (e.g.
+// copied or renamed by hand) is a verify failure, not a silent hit.
+TEST(ArtifactStoreTest, ProvenanceMismatchCountsVerifyFailure) {
+  const std::string dir = FreshDir("provenance");
+  const ArtifactStore store(dir);
+  ArtifactKey key;
+  key.num_entities = 64;
+  key.seed = 7;
+  ASSERT_TRUE(store.Store(key, MakeResult()).ok());
+
+  ArtifactKey other = key;
+  other.seed = 8;
+  fs::copy_file(store.PathFor(key), store.PathFor(other));
+
+  const uint64_t failures0 = CounterValue("wsd.artifact.verify_failures");
+  auto loaded = store.Load(other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("provenance"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_EQ(CounterValue("wsd.artifact.verify_failures"), failures0 + 1);
+
+  // The honest key still loads.
+  EXPECT_TRUE(store.Load(key).ok());
   fs::remove_all(dir);
 }
 

@@ -64,8 +64,18 @@ TEST(StringUtilTest, ParseUint64Rejects) {
   EXPECT_FALSE(ParseUint64("").has_value());
   EXPECT_FALSE(ParseUint64("12a").has_value());
   EXPECT_FALSE(ParseUint64("-3").has_value());
+  // Strictly 1*DIGIT: no sign, no whitespace anywhere. Callers that
+  // treat the parsed value as a wire-protocol length (serve/http.cc)
+  // rely on these rejections staying rejections.
+  EXPECT_FALSE(ParseUint64("+1").has_value());
+  EXPECT_FALSE(ParseUint64(" 1").has_value());
+  EXPECT_FALSE(ParseUint64("1 ").has_value());
+  EXPECT_FALSE(ParseUint64("1 2").has_value());
+  EXPECT_FALSE(ParseUint64("1\t2").has_value());
+  EXPECT_FALSE(ParseUint64("0x10").has_value());
   // Overflow: UINT64_MAX is 18446744073709551615.
   EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").has_value());
   EXPECT_EQ(ParseUint64("18446744073709551615"), UINT64_MAX);
   EXPECT_EQ(ParseUint64("0"), 0u);
 }

@@ -168,6 +168,128 @@ TEST(WsdctlTest, ScanWritesLoadableSnapshot) {
   std::remove(tsv.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Sharded scans and merge.
+
+const char kShardCommon[] =
+    "--domain banks --attr phone --entities 300 --scale 0.05 --seed 3 ";
+
+TEST(WsdctlTest, ShardScanRejectsBadSpecsWithUsageError) {
+  SKIP_WITHOUT_CLI();
+  const std::string snap =
+      (fs::temp_directory_path() / "wsdctl_badshard.wsdsnap").string();
+  std::remove(snap.c_str());
+  for (const char* spec : {"0/4", "5/4", "a/b", "1/0", "4", "1//4", ""}) {
+    EXPECT_EQ(RunCli(std::string("scan ") + kShardCommon + "--shard '" +
+                     spec + "' --out=" + snap),
+              2)
+        << spec;
+    EXPECT_FALSE(fs::exists(snap)) << spec;
+  }
+  // A shard scan without --out has nowhere to put the slice.
+  EXPECT_EQ(RunCli(std::string("scan ") + kShardCommon + "--shard 1/4"), 2);
+}
+
+TEST(WsdctlTest, ShardScanUnwritableOutFailsWithoutPartialFile) {
+  SKIP_WITHOUT_CLI();
+  const std::string out = "/nonexistent-dir/shard.wsdsnap";
+  EXPECT_EQ(RunCli(std::string("scan ") + kShardCommon +
+                   "--shard 1/4 --out=" + out),
+            1);
+  EXPECT_FALSE(fs::exists(out));
+}
+
+TEST(WsdctlTest, ShardScanMergeMatchesMonolithicByteForByte) {
+  SKIP_WITHOUT_CLI();
+  const std::string dir =
+      (fs::temp_directory_path() / "wsdctl_shards").string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directories(dir));
+
+  std::string shard_paths;
+  for (int i = 1; i <= 2; ++i) {
+    const std::string path = dir + "/shard" + std::to_string(i) + ".wsdsnap";
+    ASSERT_EQ(RunCli(std::string("scan ") + kShardCommon + "--shard " +
+                     std::to_string(i) + "/2 --out=" + path),
+              0);
+    shard_paths += path + " ";
+  }
+  const std::string merged = dir + "/merged.wsdsnap";
+  ASSERT_EQ(RunCli("merge " + shard_paths + "--out=" + merged), 0);
+
+  const std::string mono = dir + "/mono.wsdsnap";
+  ASSERT_EQ(RunCli(std::string("scan ") + kShardCommon +
+                   "--canonical --out=" + mono),
+            0);
+  EXPECT_EQ(ReadFile(merged), ReadFile(mono))
+      << "merged shards must be bit-identical to the monolithic scan";
+  fs::remove_all(dir);
+}
+
+TEST(WsdctlTest, MergeRejectsMismatchedAndIncompleteShards) {
+  SKIP_WITHOUT_CLI();
+  const std::string dir =
+      (fs::temp_directory_path() / "wsdctl_badmerge").string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directories(dir));
+
+  const std::string a = dir + "/a.wsdsnap";  // seed 3, shard 1/2
+  const std::string b = dir + "/b.wsdsnap";  // seed 4, shard 2/2
+  ASSERT_EQ(RunCli(std::string("scan ") + kShardCommon +
+                   "--shard 1/2 --out=" + a),
+            0);
+  ASSERT_EQ(RunCli("scan --domain banks --attr phone --entities 300 "
+                   "--scale 0.05 --seed 4 --shard 2/2 --out=" +
+                   b),
+            0);
+
+  const std::string out = dir + "/merged.wsdsnap";
+  // Same shard layout, different provenance (seed): refused.
+  EXPECT_EQ(RunCli("merge " + a + " " + b + " --out=" + out), 1);
+  EXPECT_FALSE(fs::exists(out));
+  // Incomplete shard set: refused.
+  EXPECT_EQ(RunCli("merge " + a + " --out=" + out), 1);
+  EXPECT_FALSE(fs::exists(out));
+  // Duplicate slot: refused.
+  EXPECT_EQ(RunCli("merge " + a + " " + a + " --out=" + out), 1);
+  EXPECT_FALSE(fs::exists(out));
+  // No inputs / no destination: usage errors.
+  EXPECT_EQ(RunCli("merge --out=" + out), 2);
+  EXPECT_EQ(RunCli("merge " + a), 2);
+  fs::remove_all(dir);
+}
+
+TEST(WsdctlTest, MergeInstallsIntoArtifactStoreForWarmStudies) {
+  SKIP_WITHOUT_CLI();
+  const std::string dir =
+      (fs::temp_directory_path() / "wsdctl_merge_art").string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directories(dir));
+  std::string shard_paths;
+  for (int i = 1; i <= 2; ++i) {
+    const std::string path = dir + "/shard" + std::to_string(i) + ".wsdsnap";
+    ASSERT_EQ(RunCli(std::string("scan ") + kShardCommon + "--shard " +
+                     std::to_string(i) + "/2 --out=" + path),
+              0);
+    shard_paths += path + " ";
+  }
+  const std::string art = dir + "/artifacts";
+  ASSERT_EQ(RunCli("merge " + shard_paths + "--artifacts=" + art), 0);
+
+  // A warm run resolves the scan from the installed artifact via the
+  // mmap fast path: zero live scans.
+  const std::string warm_json = dir + "/warm.json";
+  ASSERT_EQ(RunCli(std::string("spread ") + kShardCommon + "--artifacts=" +
+                   art + " --metrics_out=" + warm_json),
+            0);
+  const std::string warm = ReadFile(warm_json);
+  EXPECT_NE(warm.find("\"wsd.artifact.hits\": 1"), std::string::npos) << warm;
+  EXPECT_EQ(warm.find("\"wsd.scan.runs\""), std::string::npos) << warm;
+  EXPECT_NE(warm.find("\"wsd.store.mmap_loads\": 1"), std::string::npos)
+      << warm;
+  fs::remove_all(dir);
+}
+
 TEST(WsdctlTest, ArtifactsFlagCachesAcrossRuns) {
   SKIP_WITHOUT_CLI();
   const std::string dir =

@@ -11,6 +11,9 @@
 //   bootstrap             set-expansion simulation on one graph
 //   gen-cache             render a synthetic web into an on-disk page cache
 //   scan                  run one cache scan; --out writes a binary snapshot
+//                         (--shard i/n scans one corpus slice, --canonical
+//                         emits the merge-comparable canonical form)
+//   merge                 recombine per-shard snapshots into one
 //   metrics               run a command (or a scan), dump the metrics registry
 //
 // Common flags: --domain=<name> --attr=<phone|homepage|isbn|reviews>
@@ -34,6 +37,7 @@
 #include "core/report.h"
 #include "core/coverage.h"
 #include "core/study.h"
+#include "store/merge.h"
 #include "store/snapshot.h"
 #include "util/flags.h"
 #include "corpus/web_cache.h"
@@ -463,9 +467,16 @@ int CmdScanCache(const Args& args) {
   return 0;
 }
 
-// One §3.1 cache scan. --out persists the result as a binary snapshot
-// (store/snapshot.h) — the same format the artifact store caches — and
-// --table-out dumps the host table as TSV.
+// One §3.1 cache scan. --out persists the result as an aligned binary
+// snapshot with provenance (store/snapshot.h) — the same format the
+// artifact store caches — and --table-out dumps the host table as TSV.
+//
+// --shard i/n scans only the hosts of corpus slice i (1-based) and
+// requires --out: the snapshot is the product of a shard scan, to be
+// recombined with `wsdctl merge`. Shard snapshots (and whole scans run
+// with --canonical) are written in canonical form — hosts sorted by
+// name, wall time zeroed — so a merged 1..n sweep is byte-identical to
+// the monolithic `--canonical` snapshot (cmp-able in CI).
 int CmdScan(const Args& args) {
   const auto domain = ParseDomain(args.GetOr("domain", "restaurants"));
   const auto attr = ParseAttribute(args.GetOr("attr", "phone"));
@@ -473,20 +484,65 @@ int CmdScan(const Args& args) {
     std::cerr << "unknown --domain or --attr\n";
     return 2;
   }
-  Study study(OptionsFrom(args));
-  auto scan = study.Scan(*domain, *attr);
-  if (!scan.ok()) {
-    std::cerr << scan.status() << "\n";
-    return 1;
+  ShardSpec shard;
+  if (auto v = args.Get("shard")) {
+    auto parsed = ShardSpec::Parse(*v);
+    if (!parsed.ok()) {
+      std::cerr << parsed.status() << "\n";
+      return 2;
+    }
+    shard = *parsed;
   }
-  const ScanStats& stats = scan->stats();
+  const bool canonical = args.Has("canonical") || !shard.whole();
+  const StudyOptions options = OptionsFrom(args);
+  Study study(options);
+
+  ScanResult result;
+  if (!shard.whole()) {
+    if (!args.Get("out")) {
+      std::cerr << "--shard requires --out: the per-shard snapshot is "
+                   "the product of a shard scan\n";
+      return 2;
+    }
+    auto scanned = study.RunShardScan(*domain, *attr, shard);
+    if (!scanned.ok()) {
+      std::cerr << scanned.status() << "\n";
+      return 1;
+    }
+    result = std::move(scanned).value();
+  } else {
+    auto scan = study.Scan(*domain, *attr);
+    if (!scan.ok()) {
+      std::cerr << scan.status() << "\n";
+      return 1;
+    }
+    result = scan->result();
+  }
+  if (canonical) {
+    const Status status = CanonicalizeScanResult(&result);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+  const ScanStats& stats = result.stats;
   std::cout << "scanned " << stats.pages_scanned << " pages ("
             << stats.bytes_scanned / (1024 * 1024) << " MiB) across "
             << stats.hosts_scanned << " hosts; matched "
             << stats.entity_mentions << " mentions in "
             << FormatF(stats.wall_seconds, 2) << "s\n";
   if (auto out = args.Get("out")) {
-    const Status status = WriteSnapshotFile(*out, scan->result());
+    ArtifactKey key;
+    key.domain = *domain;
+    key.attr = *attr;
+    key.num_entities = options.num_entities;
+    key.seed = options.seed;
+    key.scale = options.scale;
+    key.legacy_scan = options.legacy_scan;
+    SnapshotMeta meta = key.Meta();
+    meta.shard_index = shard.index;
+    meta.shard_count = shard.count;
+    const Status status = WriteSnapshotFileAligned(*out, result, meta);
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
@@ -494,12 +550,84 @@ int CmdScan(const Args& args) {
     std::cout << "wrote snapshot to " << *out << "\n";
   }
   if (auto out = args.Get("table-out")) {
-    const Status status = scan->table().WriteTsv(*out);
+    const Status status = result.table.WriteTsv(*out);
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
     }
     std::cout << "wrote host table to " << *out << "\n";
+  }
+  return 0;
+}
+
+// Recombines per-shard snapshots into the monolithic canonical snapshot
+// (store/merge.h validates provenance, completeness and host ownership
+// and fails closed — no partial output file). --out writes the merged
+// snapshot; --artifacts=DIR additionally installs it into the artifact
+// store under the key its provenance describes, so warm Study/wsdd runs
+// resolve straight through it via the mmap path.
+int CmdMerge(const Args& args) {
+  const std::vector<std::string>& positional = args.positional();
+  const std::vector<std::string> inputs(positional.begin() + 1,
+                                        positional.end());
+  const auto out = args.Get("out");
+  const auto artifacts = args.Get("artifacts");
+  if (inputs.empty()) {
+    std::cerr << "merge needs at least one input snapshot (wsdctl merge "
+                 "shard1.wsdsnap shard2.wsdsnap ...)\n";
+    return 2;
+  }
+  if (!out && !artifacts) {
+    std::cerr << "merge needs --out=FILE and/or --artifacts=DIR\n";
+    return 2;
+  }
+
+  std::vector<ParsedSnapshot> shards;
+  shards.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    auto loaded = LoadSnapshotFile(path);
+    if (!loaded.ok()) {
+      std::cerr << path << ": " << loaded.status() << "\n";
+      return 1;
+    }
+    shards.push_back(std::move(loaded).value());
+  }
+  auto merged = MergeSnapshots(std::move(shards));
+  if (!merged.ok()) {
+    std::cerr << merged.status() << "\n";
+    return 1;
+  }
+  const ScanStats& stats = merged->result.stats;
+  std::cout << "merged " << inputs.size() << " shard(s): "
+            << merged->result.table.num_hosts() << " hosts, "
+            << stats.pages_scanned << " pages, " << stats.entity_mentions
+            << " mentions\n";
+  if (out) {
+    const Status status =
+        WriteSnapshotFileAligned(*out, merged->result, *merged->meta);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote merged snapshot to " << *out << "\n";
+  }
+  if (artifacts) {
+    const ArtifactStore store{*artifacts};
+    const ArtifactKey key = ArtifactKey::FromMeta(*merged->meta);
+    const Status status = store.Store(key, merged->result);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "installed artifact " << store.PathFor(key) << "\n";
+  }
+  if (auto table_out = args.Get("table-out")) {
+    const Status status = merged->result.table.WriteTsv(*table_out);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote host table to " << *table_out << "\n";
   }
   return 0;
 }
@@ -741,6 +869,11 @@ int CmdHelp() {
       "  scan-cache  scan a persisted cache  --domain --attr --in f.bin\n"
       "  scan        run one cache scan      --domain --attr\n"
       "              [--out snap.wsdsnap] [--table-out f.tsv]\n"
+      "              [--shard i/n  scan corpus slice i of n (needs --out)]\n"
+      "              [--canonical  emit canonical (merge-comparable) form]\n"
+      "  merge       recombine shard snapshots  s1.wsdsnap s2.wsdsnap ...\n"
+      "              [--out merged.wsdsnap] [--artifacts DIR]\n"
+      "              [--table-out f.tsv]\n"
       "  paper       run EVERY experiment, TSVs into --outdir\n"
       "  metrics     run a command (default: a scan), then dump the\n"
       "              metrics registry        [command ...] [--format json]\n\n"
@@ -765,6 +898,7 @@ int RunCommand(const std::string& command, const Args& args) {
   if (command == "gen-cache") return CmdGenCache(args);
   if (command == "scan-cache") return CmdScanCache(args);
   if (command == "scan") return CmdScan(args);
+  if (command == "merge") return CmdMerge(args);
   if (command == "paper") return CmdPaper(args);
   if (command == "metrics") return CmdMetrics(args);
   if (command == "help" || command == "--help") return CmdHelp();
