@@ -52,16 +52,11 @@ void AppendUtf8(uint32_t cp, std::string& out) {
   }
 }
 
-// Tries to decode one reference starting at s[i] (which is '&'). On
-// success appends the decoded text and returns the index one past the
-// reference; on failure returns i (caller copies the '&').
-size_t TryDecodeRef(std::string_view s, size_t i, std::string& out) {
-  const size_t semi = s.find(';', i + 1);
-  // References in the wild are short; cap the search so a lone '&' in a
-  // long text run costs O(1).
-  if (semi == std::string_view::npos || semi - i > 10) return i;
-  std::string_view body = s.substr(i + 1, semi - i - 1);
-  if (body.empty()) return i;
+// Decodes one reference body (the text between '&' and ';'). On success
+// appends the decoded text to `out` and returns true; on failure appends
+// nothing.
+bool DecodeRefBody(std::string_view body, std::string& out) {
+  if (body.empty()) return false;
 
   if (body[0] == '#') {
     uint32_t cp = 0;
@@ -77,33 +72,65 @@ size_t TryDecodeRef(std::string_view s, size_t i, std::string& out) {
         } else if (c >= 'A' && c <= 'F') {
           d = static_cast<uint32_t>(c - 'A' + 10);
         } else {
-          return i;
+          return false;
         }
         cp = cp * 16 + d;
         ok = true;
       }
     } else {
       for (size_t j = 1; j < body.size(); ++j) {
-        if (!IsDigit(body[j])) return i;
+        if (!IsDigit(body[j])) return false;
         cp = cp * 10 + static_cast<uint32_t>(body[j] - '0');
         ok = true;
       }
     }
-    if (!ok) return i;
+    if (!ok) return false;
     AppendUtf8(cp, out);
-    return semi + 1;
+    return true;
   }
 
   for (const NamedRef& ref : kNamedRefs) {
     if (body == ref.name) {
       out.append(ref.utf8);
-      return semi + 1;
+      return true;
     }
   }
-  return i;
+  return false;
+}
+
+// Tries to decode one reference starting at s[i] (which is '&'). On
+// success appends the decoded text and returns the index one past the
+// reference; on failure returns i (caller copies the '&').
+size_t TryDecodeRef(std::string_view s, size_t i, std::string& out) {
+  const size_t semi = s.find(';', i + 1);
+  // References in the wild are short; cap the search so a lone '&' in a
+  // long text run costs O(1).
+  if (semi == std::string_view::npos || semi - i > 10) return i;
+  std::string_view body = s.substr(i + 1, semi - i - 1);
+  if (!DecodeRefBody(body, out)) return i;
+  return semi + 1;
 }
 
 }  // namespace
+
+size_t TryDecodeRefAt(std::string_view s, size_t limit, size_t i,
+                      std::string* out) {
+  // Same accept/reject decisions as TryDecodeRef on s.substr(0, limit):
+  // that caps the ';' search at `limit`, and rejects any ';' further than
+  // 10 bytes out — so scanning only the next 10 bytes finds the same
+  // first ';' whenever one can be accepted, and rejects otherwise.
+  const size_t cap = std::min(limit, i + 11);
+  size_t semi = std::string_view::npos;
+  for (size_t j = i + 1; j < cap; ++j) {
+    if (s[j] == ';') {
+      semi = j;
+      break;
+    }
+  }
+  if (semi == std::string_view::npos) return i;
+  if (!DecodeRefBody(s.substr(i + 1, semi - i - 1), *out)) return i;
+  return semi + 1;
+}
 
 std::string DecodeCharRefs(std::string_view s) {
   std::string out;

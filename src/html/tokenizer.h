@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace wsd {
@@ -88,20 +89,11 @@ class Tokenizer {
   }
 
   // Finds the end of a tag ('>') starting after '<', honoring quoted
-  // attribute values that may contain '>'. Returns npos if unterminated.
+  // attribute values that may contain '>'. Dispatches to the active SIMD
+  // tier; at Tier::kScalar this is the original quote state machine.
+  // Returns npos if unterminated.
   static size_t FindTagEnd(std::string_view s, size_t start) {
-    char quote = 0;
-    for (size_t i = start; i < s.size(); ++i) {
-      const char c = s[i];
-      if (quote != 0) {
-        if (c == quote) quote = 0;
-      } else if (c == '"' || c == '\'') {
-        quote = c;
-      } else if (c == '>') {
-        return i;
-      }
-    }
-    return std::string_view::npos;
+    return simd::FindTagEnd(s, start);
   }
 
   std::string_view input_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "util/metrics.h"
+#include "util/simd.h"
 
 #include <atomic>
 #include <cstdio>
@@ -343,14 +344,26 @@ TEST_P(KernelEquivalenceTest, KernelMatchesLegacyAtEveryThreadCount) {
     detector.emplace(std::move(built).value());
   }
   const ReviewDetector* det = detector ? &*detector : nullptr;
-  for (int threads : {1, 2, 8}) {
-    ThreadPool pool(threads);
-    const ScanPipeline pipeline(web, pool, det);
-    auto kernel = pipeline.Run();
-    auto legacy = pipeline.RunLegacy();
-    ASSERT_TRUE(kernel.ok() && legacy.ok());
-    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
-    ExpectIdenticalResults(*kernel, *legacy);
+  // The frozen legacy path is tier-independent: run it once as the
+  // oracle, then prove the kernel bit-identical at every dispatch tier
+  // and thread count. The override is installed before the pool spawns
+  // workers and removed after they join.
+  const auto legacy = [&] {
+    ThreadPool pool(1);
+    return ScanPipeline(web, pool, det).RunLegacy();
+  }();
+  ASSERT_TRUE(legacy.ok());
+  for (const simd::Tier tier : simd::AvailableTiers()) {
+    const simd::ScopedTierOverride pinned(tier);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const ScanPipeline pipeline(web, pool, det);
+      auto kernel = pipeline.Run();
+      ASSERT_TRUE(kernel.ok());
+      SCOPED_TRACE(::testing::Message() << "tier=" << simd::TierName(tier)
+                                        << " threads=" << threads);
+      ExpectIdenticalResults(*kernel, *legacy);
+    }
   }
 }
 
@@ -370,25 +383,32 @@ TEST_P(SteadyStateAllocationTest, RescanAllocatesNothing) {
   // maximum), then rescan with the allocation counter armed.
   const SyntheticWeb web = MakeWeb(GetParam(), 200, 100);
   const EntityMatcher matcher(web.catalog(), GetParam());
-  ScanScratch scratch;
-  HostRecord rec;
-  uint64_t mentions = 0, reviews = 0;
-  for (SiteId s = 0; s < web.num_hosts(); ++s) {
-    ScanHostPages(web, s, matcher, nullptr, &scratch, &rec, &mentions,
-                  &reviews);
-  }
-  ASSERT_GT(mentions, 0u);
-
-  uint64_t allocs = 0;
-  {
-    const AllocCountGuard guard;
+  // The contract holds at every dispatch tier: the SIMD tiers add
+  // bit-plane scratch, but planes also reach their watermark during
+  // warmup and allocate nothing on rescan.
+  for (const simd::Tier tier : simd::AvailableTiers()) {
+    SCOPED_TRACE(::testing::Message() << "tier=" << simd::TierName(tier));
+    const simd::ScopedTierOverride pinned(tier);
+    ScanScratch scratch;
+    HostRecord rec;
+    uint64_t mentions = 0, reviews = 0;
     for (SiteId s = 0; s < web.num_hosts(); ++s) {
       ScanHostPages(web, s, matcher, nullptr, &scratch, &rec, &mentions,
                     &reviews);
     }
-    allocs = g_alloc_count;
+    ASSERT_GT(mentions, 0u);
+
+    uint64_t allocs = 0;
+    {
+      const AllocCountGuard guard;
+      for (SiteId s = 0; s < web.num_hosts(); ++s) {
+        ScanHostPages(web, s, matcher, nullptr, &scratch, &rec, &mentions,
+                      &reviews);
+      }
+      allocs = g_alloc_count;
+    }
+    EXPECT_EQ(allocs, 0u);
   }
-  EXPECT_EQ(allocs, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(IdentifierAttributes, SteadyStateAllocationTest,

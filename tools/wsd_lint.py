@@ -28,6 +28,13 @@ Rules (ids in brackets, each documented in docs/STATIC_ANALYSIS.md):
                         equivalence oracle from PR 3) was edited without
                         updating tools/frozen_oracle.lock, or the markers
                         themselves are malformed/missing.
+  [simd-confinement]    An x86 intrinsics header (<immintrin.h> family),
+                        _mm*/_mm256* intrinsic, vector register type, or
+                        __builtin_cpu_supports outside src/util/simd*.{h,cc}
+                        / src/util/cpu*.{h,cc}. Everything else must go
+                        through the dispatch layer (src/util/simd.h), which
+                        keeps per-TU target attributes — and the scalar
+                        fallback guarantees — in one place.
 
 Usage:
   tools/wsd_lint.py [--root REPO] [--update-frozen] [--self-test] [-q]
@@ -319,6 +326,37 @@ def check_headers(root: str, findings):
 
 
 # --------------------------------------------------------------------------
+# Rule: simd-confinement
+# --------------------------------------------------------------------------
+
+# The only files allowed to name raw intrinsics or CPUID builtins.
+SIMD_ALLOWED_RE = re.compile(r"^src/util/(simd|cpu)[^/]*\.(h|cc)$")
+
+SIMD_BANNED = [
+    (re.compile(r"#\s*include\s*<(imm|emm|xmm|pmm|smm|tmm|wmm|nmm|ammintrin|"
+                r"avx\w*|x86)intrin\.h>"),
+     "x86 intrinsics header"),
+    (re.compile(r"\b_mm\d*_\w+\s*\("), "_mm* intrinsic"),
+    (re.compile(r"\b__m(64|128|256|512)[di]?\b"), "vector register type"),
+    (re.compile(r"\b__builtin_cpu_supports\s*\("), "__builtin_cpu_supports"),
+]
+
+
+def check_simd_confinement(root: str, findings):
+    for rel in iter_files(root, LIBRARY_DIRS, (".h", ".cc")):
+        if SIMD_ALLOWED_RE.match(rel.replace(os.sep, "/")):
+            continue
+        text = strip_code(read(root, rel))
+        for pattern, what in SIMD_BANNED:
+            for m in pattern.finditer(text):
+                findings.append(Finding(
+                    rel, line_of(text, m.start()), "simd-confinement",
+                    f"{what} outside src/util/simd*/cpu* — raw SIMD is "
+                    "confined to the dispatch layer; call the primitives "
+                    "in src/util/simd.h instead"))
+
+
+# --------------------------------------------------------------------------
 # Rule: frozen-oracle
 # --------------------------------------------------------------------------
 
@@ -412,6 +450,7 @@ def run_lint(root: str, update_frozen: bool = False):
     check_discarded_status(root, status_names, findings)
     check_token_bans(root, findings)
     check_headers(root, findings)
+    check_simd_confinement(root, findings)
     check_frozen(root, findings, update_frozen)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
@@ -466,6 +505,15 @@ using namespace std;
 // WSD_FROZEN_BEGIN(self_test_region)
 int tampered = 1;
 // WSD_FROZEN_END(self_test_region)
+"""),
+    "simd-confinement": ("src/html/bad_simd.cc", """
+#include <immintrin.h>
+namespace wsd {
+int CountLt(const char* p) {
+  const __m128i block = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm_movemask_epi8(block);
+}
+}
 """),
 }
 

@@ -28,6 +28,7 @@
 #include "serve/server.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace wsd {
 namespace {
@@ -56,6 +57,11 @@ int Main(int argc, char** argv) {
         stdout);
     return 0;
   }
+
+  // Resolve SIMD dispatch before any request runs: the startup log then
+  // records the tier (and any WSD_FORCE_* override), and the
+  // wsd.scan.simd_tier gauge is set for /metrics from the first scrape.
+  simd::ActiveTier();
 
   StudyOptions base = StudyOptions::FromEnv();
   if (auto v = args.GetUint("entities")) {
