@@ -204,6 +204,11 @@ StatusOr<ScanResult> ScanPipeline::Run(const ShardSpec& shard) const {
       MetricsRegistry::Global().GetHistogram("wsd.scan.shard_seconds");
 
   // Hosts are disjoint, so each iteration owns records[s] exclusively.
+  // Lock discipline (docs/STATIC_ANALYSIS.md#lock-discipline): this
+  // region holds no mutex by design — there is nothing for GUARDED_BY
+  // to protect. Cross-thread safety rests on disjoint indices, relaxed
+  // atomics for the merged counters, and the happens-before edges of
+  // ParallelForShards' submit/wait (whose queue is annotated).
   // One ScanScratch per pool shard; counters stay shard-local and merge
   // once per pool shard. Only the shard wall time is recorded into the
   // registry from inside the parallel region. Hosts outside the corpus

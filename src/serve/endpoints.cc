@@ -280,7 +280,7 @@ void HandleDemand(ServeContext& ctx, const HttpRequest& req,
                                               scale);
   std::shared_ptr<const Study::ValueStudyResult> result;
   {
-    std::unique_lock<std::mutex> lock(ctx.demand_mu);
+    MutexLock lock(ctx.demand_mu);
     auto it = ctx.demand_memo.find(key);
     if (it != ctx.demand_memo.end()) result = it->second;
   }
@@ -297,7 +297,7 @@ void HandleDemand(ServeContext& ctx, const HttpRequest& req,
     }
     result = std::make_shared<const Study::ValueStudyResult>(
         std::move(computed).value());
-    std::unique_lock<std::mutex> lock(ctx.demand_mu);
+    MutexLock lock(ctx.demand_mu);
     ctx.demand_memo.emplace(key, result);
   }
   const WireFormat format = NegotiateFormat(req);
@@ -355,7 +355,7 @@ std::string ResponseCacheKey(const HttpRequest& req, WireFormat format) {
 
 bool ResponseCache::Lookup(const std::string& key, HttpResponse* resp) {
   auto& metrics = ResponseCacheMetrics::Get();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -377,7 +377,7 @@ void ResponseCache::Insert(const std::string& key, const HttpResponse& resp) {
   entry.body = resp.body;
   entry.content_type = resp.content_type;
   entry.bytes = key.size() + entry.body.size() + entry.content_type.size();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.last_used = ++tick_;
   auto [it, inserted] = entries_.emplace(key, std::move(entry));
   if (!inserted) return;  // another thread rendered the same response
@@ -397,7 +397,7 @@ void ResponseCache::Insert(const std::string& key, const HttpResponse& resp) {
 }
 
 ResponseCache::Stats ResponseCache::GetStats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -22,13 +22,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "core/study.h"
 #include "serve/http.h"
 #include "serve/scan_cache.h"
+#include "util/mutex.h"
 
 namespace wsd {
 
@@ -77,35 +77,40 @@ class ResponseCache {
     uint64_t last_used = 0;
   };
 
+  // unguarded: startup-time configuration written before the server
+  // accepts connections (see set_max_bytes), read-only afterwards.
   size_t max_bytes_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  uint64_t tick_ = 0;
-  size_t total_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  size_t total_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 /// Shared state behind every request: the base StudyOptions (entities,
 /// threads, artifact_dir) and the scan cache. One ServeContext per
 /// server; HandleRequest is safe to call from many threads.
 struct ServeContext {
+  // unguarded: base and cache are configured once before the server
+  // starts and never mutated afterwards; ScanHandleCache locks
+  // internally.
   StudyOptions base;
   ScanHandleCache* cache = nullptr;  // not owned; required
 
   /// Rendered-response memo for the analysis endpoints (/spread,
   /// /setcover, /graph, /demand). /metrics and /healthz are never
-  /// cached.
+  /// cached. unguarded: ResponseCache carries its own mutex.
   ResponseCache responses{64u * 1024 * 1024};
 
   /// Memo for /demand: value studies do not flow through the scan cache
   /// (they read traffic logs, not host tables), so repeated queries for
   /// the same (site, seed, scale) reuse the first run's result.
-  std::mutex demand_mu;
+  Mutex demand_mu;
   std::map<std::tuple<int, uint64_t, double>,
            std::shared_ptr<const Study::ValueStudyResult>>
-      demand_memo;
+      demand_memo GUARDED_BY(demand_mu);
 };
 
 /// Routes one request and fills `resp`. Never throws; every failure maps

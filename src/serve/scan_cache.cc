@@ -48,11 +48,17 @@ size_t ApproxScanResultBytes(const ScanResult& result) {
 ScanHandleCache::ScanHandleCache(const StudyOptions& base, size_t max_bytes)
     : base_(base), max_bytes_(max_bytes) {}
 
+void ScanHandleCache::WaitWhileInflight(const Key& key) {
+  // Bare waits in a loop: notify_all wakes every waiter, and each one
+  // re-evaluates the cache state from scratch under mu_.
+  while (inflight_.count(key) != 0) inflight_cv_.Wait(mu_);
+}
+
 StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
     const Key& key) {
   CacheMetrics& metrics = CacheMetrics::Get();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
       auto it = entries_.find(key);
       if (it != entries_.end()) {
@@ -61,10 +67,16 @@ StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
         metrics.hits.Increment();
         return it->second.result;
       }
+      // Miss. If another thread is already scanning this key, wait it
+      // out, then RE-CHECK eviction from the top: between the scanner's
+      // notify and this thread reacquiring mu_, the freshly admitted
+      // entry may have been evicted by another key becoming MRU (with a
+      // 1-byte budget this is the common case, pinned by
+      // ScanHandleCacheTest.WaiterRescansAfterInflightEntryEvicted).
+      // The scan may also simply have failed. Either way the loop falls
+      // through here with inflight_ empty and this thread takes over.
       if (inflight_.count(key) == 0) break;
-      // Another thread is scanning this key; wait for it to finish and
-      // re-check (its scan may have failed, in which case we retry).
-      inflight_cv_.wait(lock);
+      WaitWhileInflight(key);
     }
     inflight_.insert(key);
     ++misses_;
@@ -88,7 +100,7 @@ StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
   }();
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inflight_.erase(key);
     if (outcome.ok()) {
       Entry entry;
@@ -109,8 +121,9 @@ StatusOr<std::shared_ptr<const ScanResult>> ScanHandleCache::Get(
       EvictLocked();
       metrics.bytes.Set(static_cast<double>(total_bytes_));
       metrics.entries.Set(static_cast<double>(entries_.size()));
+      if (post_admit_hook_) post_admit_hook_();
     }
-    inflight_cv_.notify_all();
+    inflight_cv_.NotifyAll();
   }
   return outcome;
 }
@@ -131,8 +144,29 @@ void ScanHandleCache::EvictLocked() {
   }
 }
 
+void ScanHandleCache::SetPostAdmitHookForTest(std::function<void()> hook) {
+  MutexLock lock(mu_);
+  post_admit_hook_ = std::move(hook);
+}
+
+size_t ScanHandleCache::InflightCountForTest() const {
+  MutexLock lock(mu_);
+  return inflight_.size();
+}
+
+void ScanHandleCache::EvictAllForTest() {
+  while (!entries_.empty()) {
+    total_bytes_ -= entries_.begin()->second.bytes;
+    entries_.erase(entries_.begin());
+    ++evictions_;
+    CacheMetrics::Get().evictions.Increment();
+  }
+  CacheMetrics::Get().bytes.Set(static_cast<double>(total_bytes_));
+  CacheMetrics::Get().entries.Set(0.0);
+}
+
 ScanHandleCache::Stats ScanHandleCache::GetStats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

@@ -16,18 +16,18 @@
 #ifndef WSD_SERVE_SCAN_CACHE_H_
 #define WSD_SERVE_SCAN_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <tuple>
 
 #include "core/study.h"
 #include "entity/domains.h"
 #include "extract/scan_pipeline.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
 
 namespace wsd {
@@ -94,6 +94,20 @@ class ScanHandleCache {
 
   size_t max_bytes() const { return max_bytes_; }
 
+  /// Test-only: `hook` runs with mu_ held immediately after a scanner
+  /// admits its entry, before waiters are notified. Tests use it to
+  /// deterministically evict the fresh entry (via EvictAllForTest) and
+  /// pin the waiter wake-and-rescan path. Never set in production.
+  void SetPostAdmitHookForTest(std::function<void()> hook);
+
+  /// Test-only: number of keys some thread is currently scanning.
+  size_t InflightCountForTest() const;
+
+  /// Test-only: evicts every resident entry, MRU included. Must only be
+  /// called from a post-admit hook, which already runs under mu_ —
+  /// analysis is off because the lock is held indirectly by the caller.
+  void EvictAllForTest() NO_THREAD_SAFETY_ANALYSIS;
+
  private:
   struct Entry {
     std::shared_ptr<const ScanResult> result;
@@ -101,23 +115,33 @@ class ScanHandleCache {
     uint64_t last_used = 0;  // LRU tick
   };
 
-  /// Drops LRU entries until total_bytes_ <= max_bytes_. Caller holds
-  /// mu_.
-  void EvictLocked();
+  /// Drops LRU entries until total_bytes_ <= max_bytes_.
+  void EvictLocked() REQUIRES(mu_);
+
+  /// Blocks until no other thread is scanning `key`. Invariant on
+  /// return: either entries_ holds `key` (the scanner succeeded and the
+  /// entry has not been evicted yet), or `key` is neither cached nor in
+  /// flight and the caller must take over the scan. A wake does NOT
+  /// mean the entry is present: the scan may have failed, or the entry
+  /// may have been admitted and already evicted by a later key becoming
+  /// MRU (certain under a tiny byte budget) — hence the re-check loop.
+  void WaitWhileInflight(const Key& key) REQUIRES(mu_);
 
   const StudyOptions base_;
   const size_t max_bytes_;
 
-  mutable std::mutex mu_;
-  std::condition_variable inflight_cv_;
-  std::map<Key, Entry> entries_;
-  std::set<Key> inflight_;  // keys some thread is currently scanning
-  uint64_t tick_ = 0;
-  size_t total_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t oversized_admits_ = 0;
+  mutable Mutex mu_;
+  CondVar inflight_cv_;
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  /// Keys some thread is currently scanning.
+  std::set<Key> inflight_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  size_t total_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t oversized_admits_ GUARDED_BY(mu_) = 0;
+  std::function<void()> post_admit_hook_ GUARDED_BY(mu_);
 };
 
 }  // namespace wsd

@@ -136,7 +136,7 @@ void HttpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::unique_lock<std::mutex> lock(active_mu_);
+      MutexLock lock(active_mu_);
       active_fds_.insert(fd);
     }
     ServerMetrics::Get().connections.Increment();
@@ -200,7 +200,7 @@ void HttpServer::HandleConnection(int fd) {
     break;  // peer closed (n == 0), timed out, or hard error
   }
   {
-    std::unique_lock<std::mutex> lock(active_mu_);
+    MutexLock lock(active_mu_);
     active_fds_.erase(fd);
   }
   ServerMetrics::Get().active_connections.Add(-1);
@@ -225,7 +225,7 @@ void HttpServer::Shutdown() {
   // EOF and finishes, while responses already being written (the write
   // side stays open) still reach the client.
   {
-    std::unique_lock<std::mutex> lock(active_mu_);
+    MutexLock lock(active_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
   pool_->Wait();

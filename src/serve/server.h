@@ -14,13 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "serve/endpoints.h"
 #include "serve/http.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +73,9 @@ class HttpServer {
 
   ServeContext* const ctx_;
   const ServerOptions options_;
+  // unguarded: listen_fd_/port_/accept_thread_/pool_ are control-plane
+  // state, written only by Start() and the first Shutdown() caller
+  // (serialized via the stopping_ exchange); workers never touch them.
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -80,8 +83,8 @@ class HttpServer {
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
 
-  std::mutex active_mu_;
-  std::set<int> active_fds_;
+  Mutex active_mu_;
+  std::set<int> active_fds_ GUARDED_BY(active_mu_);
 };
 
 }  // namespace wsd

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace wsd {
 
@@ -13,8 +14,8 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 // Serializes writes so concurrent log lines do not interleave.
-std::mutex& LogMutex() {
-  static std::mutex* m = new std::mutex;
+Mutex& LogMutex() {
+  static Mutex* m = new Mutex;
   return *m;
 }
 
@@ -68,7 +69,7 @@ void LogMessage(LogLevel level, const char* file, int line,
   char ts[32];
   std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
 
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "%c %s %s:%d] %s\n", LevelChar(level), ts,
                Basename(file), line, message.c_str());
 }

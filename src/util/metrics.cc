@@ -13,33 +13,33 @@ LatencyHistogram::LatencyHistogram(int max_bucket) : hist_(max_bucket) {}
 void LatencyHistogram::Record(double seconds) {
   const double clamped = std::max(0.0, seconds);
   const uint64_t us = static_cast<uint64_t>(clamped * 1e6);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hist_.Add(us);
   stats_.Add(clamped);
 }
 
 uint64_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.count();
 }
 
 double LatencyHistogram::sum_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.sum();
 }
 
 double LatencyHistogram::min_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.count() == 0 ? 0.0 : stats_.min();
 }
 
 double LatencyHistogram::max_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.count() == 0 ? 0.0 : stats_.max();
 }
 
 double LatencyHistogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t total = stats_.count();
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -62,11 +62,16 @@ double LatencyHistogram::Quantile(double q) const {
 int LatencyHistogram::num_buckets() const { return hist_.num_buckets(); }
 
 uint64_t LatencyHistogram::bucket_count(int b) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hist_.bucket_count(b);
 }
 
 double LatencyHistogram::BucketUpperSeconds(int b) const {
+  // Latent discipline gap surfaced by the thread-safety retrofit: this
+  // read of hist_ was lock-free, racing Reset()'s reassignment of the
+  // whole histogram. The bucket geometry happens to be Reset-invariant,
+  // but the object read mid-assignment is not.
+  MutexLock lock(mu_);
   if (b >= hist_.num_buckets() - 1) {
     return std::numeric_limits<double>::infinity();
   }
@@ -74,7 +79,7 @@ double LatencyHistogram::BucketUpperSeconds(int b) const {
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hist_ = Log2Histogram(hist_.num_buckets() - 1);
   stats_ = RunningStats();
 }
@@ -85,21 +90,21 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
@@ -107,9 +112,10 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
 
 namespace {
 
+// Caller holds the registry mutex (enforced at the call sites; a
+// template cannot name the member in REQUIRES).
 template <typename Map>
-std::vector<std::string> SortedKeys(std::mutex& mu, const Map& map) {
-  std::lock_guard<std::mutex> lock(mu);
+std::vector<std::string> SortedKeysLocked(const Map& map) {
   std::vector<std::string> names;
   names.reserve(map.size());
   for (const auto& [name, metric] : map) names.push_back(name);
@@ -148,7 +154,7 @@ std::string MetricsRegistry::ToJson() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, counter] : counters_) {
       out += first ? "\n    " : ",\n    ";
       first = false;
@@ -160,7 +166,7 @@ std::string MetricsRegistry::ToJson() const {
   out += "\n  },\n  \"gauges\": {";
   first = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, gauge] : gauges_) {
       out += first ? "\n    " : ",\n    ";
       first = false;
@@ -171,7 +177,7 @@ std::string MetricsRegistry::ToJson() const {
   out += "\n  },\n  \"histograms\": {";
   first = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, hist] : histograms_) {
       out += first ? "\n    " : ",\n    ";
       first = false;
@@ -208,7 +214,7 @@ std::string MetricsRegistry::ToJson() const {
 
 std::string MetricsRegistry::ToPrometheus() const {
   std::string out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);
     out += "# TYPE " + prom + " counter\n";
@@ -245,19 +251,22 @@ std::string MetricsRegistry::ToPrometheus() const {
 }
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
-  return SortedKeys(mu_, counters_);
+  MutexLock lock(mu_);
+  return SortedKeysLocked(counters_);
 }
 
 std::vector<std::string> MetricsRegistry::GaugeNames() const {
-  return SortedKeys(mu_, gauges_);
+  MutexLock lock(mu_);
+  return SortedKeysLocked(gauges_);
 }
 
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
-  return SortedKeys(mu_, histograms_);
+  MutexLock lock(mu_);
+  return SortedKeysLocked(histograms_);
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
   for (auto& [name, hist] : histograms_) hist->Reset();

@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace wsd {
@@ -106,9 +106,9 @@ class LatencyHistogram {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  Log2Histogram hist_;
-  RunningStats stats_;
+  mutable Mutex mu_;
+  Log2Histogram hist_ GUARDED_BY(mu_);
+  RunningStats stats_ GUARDED_BY(mu_);
 };
 
 /// Process-wide, thread-safe registry of named metrics. Get*() returns a
@@ -160,10 +160,11 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// RAII stopwatch: records the scope's wall time into a LatencyHistogram

@@ -16,9 +16,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "util/cpu.h"
+#include "util/mutex.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -820,7 +820,7 @@ const ScanOps* TierTable(Tier tier) {
 
 std::atomic<int> g_tier{-1};
 std::atomic<const ScanOps*> g_ops{&kScalarOps};
-std::once_flag g_init_once;
+OnceFlag g_init_once;
 
 // Env-flag convention shared with WSD_LEGACY_SCAN (core/study.cc): set
 // and not "0" means on.
@@ -890,7 +890,7 @@ Tier ChooseTier(Tier best, bool force_scalar, bool force_swar,
 Tier ActiveTier() {
   const int tier = g_tier.load(std::memory_order_relaxed);
   if (tier >= 0) return static_cast<Tier>(tier);
-  std::call_once(g_init_once, InitDispatch);
+  CallOnce(g_init_once, InitDispatch);
   return static_cast<Tier>(g_tier.load(std::memory_order_relaxed));
 }
 

@@ -47,10 +47,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   PoolMetrics::Get().workers.Add(-static_cast<double>(workers_.size()));
 }
@@ -58,18 +58,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   PoolMetrics& metrics = PoolMetrics::Get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   metrics.tasks_submitted.Increment();
   metrics.queue_depth.Add(1.0);
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -77,9 +77,9 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const Timer idle;
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       metrics.worker_idle_us.Increment(
           static_cast<uint64_t>(idle.ElapsedSeconds() * 1e6));
       if (queue_.empty()) return;  // shutdown with drained queue
@@ -93,8 +93,8 @@ void ThreadPool::WorkerLoop() {
     }
     metrics.tasks_completed.Increment();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

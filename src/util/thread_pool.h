@@ -1,14 +1,13 @@
 #ifndef WSD_UTIL_THREAD_POOL_H_
 #define WSD_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace wsd {
 
@@ -37,12 +36,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: task or shutdown
-  std::condition_variable idle_cv_;   // signals Wait(): all tasks done
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // signals workers: task or shutdown
+  CondVar idle_cv_;  // signals Wait(): all tasks done
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // unguarded: written once in the constructor before any worker can
+  // observe it, then immutable; num_threads() reads it lock-free.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,113 @@
+// Concurrency stress for the serve-layer caches: 8 threads hammer a
+// ResponseCache and a ScanHandleCache with mixed hit / miss / evict
+// traffic under deliberately tiny budgets. The assertions are coarse
+// arithmetic invariants; the real payload is the interleavings — built
+// with -DWSD_SANITIZE=thread this is the dynamic (TSan) probe for the
+// same lock discipline that clang -Wthread-safety checks statically.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+#include "serve/endpoints.h"
+#include "serve/http.h"
+#include "serve/scan_cache.h"
+#include "util/rng.h"
+
+namespace wsd {
+namespace {
+
+TEST(ServeCacheStress, ResponseCacheMixedHitMissEvict) {
+  // A few entries worth of budget over a 16-key space: hits, misses and
+  // evictions all stay hot for the whole run.
+  ResponseCache cache(512);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr int kKeySpace = 16;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<int> bad_bodies{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5eedULL + static_cast<uint64_t>(t));
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int k = static_cast<int>(rng.Uniform(kKeySpace));
+        const std::string key = "/spread?k=" + std::to_string(k);
+        const size_t body_size = 48 + 8 * static_cast<size_t>(k);
+        HttpResponse resp;
+        ops.fetch_add(1);
+        if (cache.Lookup(key, &resp)) {
+          // A hit must carry the exact body rendered for this key, not
+          // a torn or mismatched one.
+          if (resp.body.size() != body_size ||
+              resp.body.find_first_not_of(static_cast<char>('a' + k % 26)) !=
+                  std::string::npos) {
+            bad_bodies.fetch_add(1);
+          }
+        } else {
+          resp.status = 200;
+          resp.content_type = "application/json";
+          resp.body.assign(body_size, static_cast<char>('a' + k % 26));
+          cache.Insert(key, resp);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(bad_bodies.load(), 0);
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, ops.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u) << "budget too large to exercise eviction";
+  EXPECT_LE(stats.bytes, cache.max_bytes());
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(ServeCacheStress, ScanHandleCacheMixedHitMissEvict) {
+  StudyOptions options;
+  options.num_entities = 200;
+  options.threads = 1;
+  options.seed = 7;
+  // One byte of budget: every admission is oversized, only the MRU key
+  // survives, and waiters routinely wake to an already-evicted entry.
+  ScanHandleCache cache(options, 1);
+  const std::vector<ScanHandleCache::Key> keys = {
+      {Domain::kBooks, Attribute::kIsbn, options.seed, options.scale},
+      {Domain::kRestaurants, Attribute::kPhone, options.seed, options.scale},
+      {Domain::kBooks, Attribute::kIsbn, options.seed + 1, options.scale},
+  };
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xabcdULL + static_cast<uint64_t>(t));
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto& key = keys[rng.Uniform(keys.size())];
+        ops.fetch_add(1);
+        auto result = cache.Get(key);
+        if (!result.ok() || *result == nullptr) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ScanHandleCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, ops.load());
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(stats.entries, 1u) << "1-byte budget keeps at most the MRU entry";
+}
+
+}  // namespace
+}  // namespace wsd

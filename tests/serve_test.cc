@@ -477,6 +477,82 @@ TEST(ScanCache, ConcurrentMissesDeduplicate) {
   EXPECT_EQ(stats.misses, 1u) << "concurrent misses must deduplicate";
 }
 
+TEST(ScanCache, ConcurrentMissesShareOversizedResultUnderOneByteBudget) {
+  StudyOptions options = SmallOptions();
+  // One byte of budget: every admission is oversized and only the MRU
+  // entry survives. Deduplicated waiters must still share the single
+  // oversized result instead of each rescanning after a wake.
+  ScanHandleCache cache(options, 1);
+  const ScanHandleCache::Key key{Domain::kBooks, Attribute::kIsbn,
+                                 options.seed, options.scale};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ScanResult>> results(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = cache.Get(key);
+      if (!result.ok() || *result == nullptr) {
+        failures.fetch_add(1);
+        return;
+      }
+      results[i] = *result;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].get(), results[0].get()) << "thread " << i;
+  }
+  const ScanHandleCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1u) << "one scan, shared by every waiter";
+  EXPECT_EQ(stats.hits, kThreads - 1u);
+  EXPECT_EQ(stats.oversized_admits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ScanHandleCacheTest, WaiterRescansAfterInflightEntryEvicted) {
+  StudyOptions options = SmallOptions();
+  ScanHandleCache cache(options, 64 * 1024 * 1024);
+  const ScanHandleCache::Key key{Domain::kBooks, Attribute::kIsbn,
+                                 options.seed, options.scale};
+  // Evict the entry in the same critical section that admits it: a
+  // thread waiting out the in-flight scan then wakes to find the cache
+  // empty and nothing in flight, and must take over the scan itself
+  // rather than return empty-handed (the invariant documented on
+  // ScanHandleCache::WaitWhileInflight).
+  cache.SetPostAdmitHookForTest([&cache] { cache.EvictAllForTest(); });
+
+  std::atomic<int> failures{0};
+  std::thread scanner([&] {
+    auto result = cache.Get(key);
+    if (!result.ok() || *result == nullptr) failures.fetch_add(1);
+  });
+  // Release the waiter inside the window where the scan is in flight so
+  // it genuinely blocks in WaitWhileInflight. (If the scan wins the race
+  // anyway, the waiter degenerates into a plain second scanner and the
+  // assertions below still hold — the interleaving is just less
+  // interesting.)
+  while (cache.InflightCountForTest() == 0 && cache.GetStats().misses == 0) {
+    std::this_thread::yield();
+  }
+  std::thread waiter([&] {
+    auto result = cache.Get(key);
+    if (!result.ok() || *result == nullptr) failures.fetch_add(1);
+  });
+  scanner.join();
+  waiter.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const ScanHandleCache::Stats stats = cache.GetStats();
+  // The hook evicts at every admission, so the waiter can never score a
+  // hit: it must observe the eviction and rescan.
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
 // ---------------------------------------------------------------------
 // Loopback integration: ephemeral port, concurrent clients, responses
 // byte-identical to direct Study calls.

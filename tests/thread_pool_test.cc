@@ -76,11 +76,11 @@ TEST(ParallelForTest, EmptyAndSingleRanges) {
 
 TEST(ParallelForShardsTest, ShardsPartitionTheRange) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::pair<size_t, size_t>> shards;
   ParallelForShards(pool, 10, 250,
                     [&](size_t /*shard*/, size_t lo, size_t hi) {
-                      std::lock_guard<std::mutex> lock(mu);
+                      MutexLock lock(mu);
                       shards.emplace_back(lo, hi);
                     });
   std::sort(shards.begin(), shards.end());

@@ -1,0 +1,21 @@
+// Violation: acquiring a mutex this thread already holds (deadlock on a
+// non-recursive mutex at runtime; rejected at compile time here).
+// expect-error: already held
+
+#include "util/mutex.h"
+
+namespace {
+
+wsd::Mutex g_mu;
+int g_value GUARDED_BY(g_mu) = 0;
+
+int DoubleAcquire() {
+  wsd::MutexLock outer(g_mu);
+  // BUG: second acquisition of the same mutex in the same scope.
+  wsd::MutexLock inner(g_mu);
+  return g_value;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

@@ -1,0 +1,36 @@
+// Violation: calling an EXCLUDES(mu_) function while holding mu_ — the
+// callee re-acquires the same mutex, i.e. self-deadlock by composition.
+// expect-error: is held
+
+#include "util/mutex.h"
+
+namespace {
+
+class Cache {
+ public:
+  // Public entry point: takes the lock itself, so callers must not
+  // already hold it.
+  void Flush() EXCLUDES(mu_) {
+    wsd::MutexLock lock(mu_);
+    dirty_ = 0;
+  }
+
+  void Update() {
+    wsd::MutexLock lock(mu_);
+    ++dirty_;
+    // BUG: Flush() re-acquires mu_ while this scope still holds it.
+    Flush();
+  }
+
+ private:
+  wsd::Mutex mu_;
+  int dirty_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache cache;
+  cache.Update();
+  return 0;
+}

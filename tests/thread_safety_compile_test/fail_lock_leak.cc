@@ -1,0 +1,25 @@
+// Violation: a function path that returns while still holding a mutex
+// it acquired (and is not annotated ACQUIRE, so the caller cannot know).
+// expect-error: still held
+
+#include "util/mutex.h"
+
+namespace {
+
+wsd::Mutex g_mu;
+int g_value GUARDED_BY(g_mu) = 0;
+
+int LeakLock(bool flag) {
+  g_mu.Lock();
+  if (flag) {
+    // BUG: early return leaks the lock.
+    return g_value;
+  }
+  const int v = g_value;
+  g_mu.Unlock();
+  return v;
+}
+
+}  // namespace
+
+int main() { return LeakLock(false); }

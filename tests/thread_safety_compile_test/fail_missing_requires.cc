@@ -1,0 +1,25 @@
+// Violation: calling a REQUIRES(mu_) function without holding mu_.
+// expect-error: requires holding mutex
+
+#include "util/mutex.h"
+
+namespace {
+
+class Ledger {
+ public:
+  int TotalLocked() const REQUIRES(mu_) { return total_; }
+
+  // BUG: forwards to the REQUIRES callee without taking the lock.
+  int Total() const { return TotalLocked(); }
+
+ private:
+  mutable wsd::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  return ledger.Total();
+}

@@ -1,0 +1,26 @@
+// Violation: dereferencing a PT_GUARDED_BY pointer without the lock —
+// the pointer itself may be copied freely, the pointee may not.
+// expect-error: requires holding mutex
+
+#include "util/mutex.h"
+
+namespace {
+
+class Slot {
+ public:
+  // BUG: writes through value_ with no lock held.
+  void Clobber() { *value_ = 7; }
+
+ private:
+  wsd::Mutex mu_;
+  int storage_ = 0;
+  int* value_ PT_GUARDED_BY(mu_) = &storage_;
+};
+
+}  // namespace
+
+int main() {
+  Slot slot;
+  slot.Clobber();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Violation: releasing a mutex that is not held.
+// expect-error: not held
+
+#include "util/mutex.h"
+
+namespace {
+
+wsd::Mutex g_mu;
+
+void ReleaseUnheld() {
+  // BUG: unlock with no matching lock — UB on std::mutex at runtime.
+  g_mu.Unlock();
+}
+
+}  // namespace
+
+int main() {
+  ReleaseUnheld();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Violation: reading a GUARDED_BY field with no lock held.
+// expect-error: requires holding mutex
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG: count_ is guarded by mu_, but this read takes no lock.
+  int Peek() const { return count_; }
+
+ private:
+  mutable wsd::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Peek();
+}

@@ -1,0 +1,24 @@
+// Violation: writing a GUARDED_BY field with no lock held.
+// expect-error: requires holding mutex
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG: the increment mutates count_ outside any locked region.
+  void Bump() { ++count_; }
+
+ private:
+  wsd::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the Clang Thread Safety lock-discipline layer.
+
+Drives clang over ``tests/thread_safety_compile_test/``:
+
+* ``pass_*.cc``  — positive controls; must compile cleanly with
+  ``-Wthread-safety -Werror=thread-safety``.
+* ``fail_*.cc``  — seeded violations; each must FAIL to compile, and the
+  diagnostics must contain every ``// expect-error: <substring>`` listed
+  at the top of the file.  This proves the annotations in
+  ``src/util/mutex.h`` actually have teeth rather than silently
+  degrading to no-ops.
+
+Clang is located via, in order: ``$WSD_CLANG``, ``clang++``, then
+versioned names (``clang++-20`` .. ``clang++-14``).  Without clang the
+harness *skip-passes* (exit 0) so plain g++ environments stay green;
+pass ``--require-clang`` (the CI thread-safety job does) to turn a
+missing compiler into a hard failure (exit 2).
+
+Usage:
+  python3 tools/check_thread_safety.py [--require-clang] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TEST_DIR = REPO_ROOT / "tests" / "thread_safety_compile_test"
+SRC_DIR = REPO_ROOT / "src"
+
+EXPECT_RE = re.compile(r"^//\s*expect-error:\s*(?P<substr>.+?)\s*$")
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(20, 13, -1)]
+
+
+def find_clang(env_override: str | None) -> str | None:
+    """Return a usable clang++ binary path, or None."""
+    candidates = [env_override] if env_override else CLANG_CANDIDATES
+    for name in candidates:
+        if not name:
+            continue
+        path = shutil.which(name)
+        if path is None:
+            continue
+        probe = subprocess.run(
+            [path, "--version"], capture_output=True, text=True
+        )
+        if probe.returncode == 0 and "clang" in probe.stdout.lower():
+            return path
+    return None
+
+
+def expected_substrings(path: Path) -> list[str]:
+    """Parse the `// expect-error:` lines from a seed file header."""
+    out = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        m = EXPECT_RE.match(line)
+        if m:
+            out.append(m.group("substr"))
+    return out
+
+
+def compile_one(clang: str, path: Path) -> subprocess.CompletedProcess:
+    cmd = [
+        clang,
+        "-std=c++20",
+        "-fsyntax-only",
+        f"-I{SRC_DIR}",
+        "-Wthread-safety",
+        "-Werror=thread-safety",
+        str(path),
+    ]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--require-clang",
+        action="store_true",
+        help="fail (exit 2) if no clang++ is found instead of skip-passing",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print full compiler output"
+    )
+    args = parser.parse_args()
+
+    import os
+
+    clang = find_clang(os.environ.get("WSD_CLANG"))
+    if clang is None:
+        if args.require_clang:
+            print(
+                "check_thread_safety: FAIL — no clang++ found and "
+                "--require-clang was given (set $WSD_CLANG or install clang)."
+            )
+            return 2
+        print(
+            "check_thread_safety: SKIP — no clang++ found; thread-safety "
+            "analysis is clang-only. CI runs this with --require-clang."
+        )
+        return 0
+
+    pass_files = sorted(TEST_DIR.glob("pass_*.cc"))
+    fail_files = sorted(TEST_DIR.glob("fail_*.cc"))
+    if not pass_files or not fail_files:
+        print(f"check_thread_safety: FAIL — no seed files under {TEST_DIR}")
+        return 1
+
+    failures: list[str] = []
+    print(f"check_thread_safety: using {clang}")
+
+    for path in pass_files:
+        proc = compile_one(clang, path)
+        status = "ok" if proc.returncode == 0 else "FAIL"
+        print(f"  [pass] {path.name}: {status}")
+        if args.verbose and proc.stderr:
+            print(proc.stderr)
+        if proc.returncode != 0:
+            failures.append(
+                f"{path.name}: expected clean compile, got exit "
+                f"{proc.returncode}:\n{proc.stderr}"
+            )
+
+    for path in fail_files:
+        expected = expected_substrings(path)
+        if not expected:
+            failures.append(f"{path.name}: missing '// expect-error:' header")
+            print(f"  [fail] {path.name}: NO EXPECTATIONS")
+            continue
+        proc = compile_one(clang, path)
+        if proc.returncode == 0:
+            failures.append(
+                f"{path.name}: compiled cleanly but a thread-safety error "
+                "was expected — the seeded violation is not being caught"
+            )
+            print(f"  [fail] {path.name}: COMPILED (should have failed)")
+            continue
+        missing = [s for s in expected if s not in proc.stderr]
+        if missing:
+            failures.append(
+                f"{path.name}: diagnostics missing expected substring(s) "
+                f"{missing}:\n{proc.stderr}"
+            )
+            print(f"  [fail] {path.name}: WRONG DIAGNOSTIC")
+        else:
+            print(f"  [fail] {path.name}: rejected as expected")
+        if args.verbose and proc.stderr:
+            print(proc.stderr)
+
+    if failures:
+        print(f"\ncheck_thread_safety: {len(failures)} problem(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+
+    print(
+        f"check_thread_safety: OK — {len(pass_files)} clean, "
+        f"{len(fail_files)} violations rejected with expected diagnostics."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

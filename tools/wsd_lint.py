@@ -23,7 +23,9 @@ Rules (ids in brackets, each documented in docs/STATIC_ANALYSIS.md):
                         the library logs through src/util/logging.
   [using-namespace]     `using namespace` in a header.
   [include-guard]       Header guard does not match the canonical
-                        WSD_<PATH>_H_ form derived from the file path.
+                        WSD_<PATH>_H_ form derived from the file path, or
+                        the header uses `#pragma once` (the repo
+                        standardizes on named guards).
   [frozen-oracle]       A WSD_FROZEN_BEGIN/END region (the legacy-scan
                         equivalence oracle from PR 3) was edited without
                         updating tools/frozen_oracle.lock, or the markers
@@ -35,6 +37,19 @@ Rules (ids in brackets, each documented in docs/STATIC_ANALYSIS.md):
                         through the dispatch layer (src/util/simd.h), which
                         keeps per-TU target attributes — and the scalar
                         fallback guarantees — in one place.
+  [raw-concurrency]     A raw standard-library synchronization primitive
+                        (std::mutex family, lock_guard/unique_lock/
+                        scoped_lock/shared_lock, condition_variable,
+                        once_flag/call_once, or the <mutex>/
+                        <condition_variable>/<shared_mutex> includes)
+                        outside src/util/mutex.h. All locking goes through
+                        the annotated wsd::Mutex/MutexLock/CondVar wrappers
+                        so clang -Wthread-safety sees every acquisition.
+  [guarded-field]       A mutable data member co-declared with a Mutex in
+                        the same class body but carrying no GUARDED_BY /
+                        PT_GUARDED_BY annotation. Deliberately unguarded
+                        fields must say why in an immediately preceding
+                        `// unguarded: <reason>` comment.
 
 Usage:
   tools/wsd_lint.py [--root REPO] [--update-frozen] [--self-test] [-q]
@@ -312,8 +327,15 @@ def check_headers(root: str, findings):
                                    if rel.startswith("src" + os.sep)
                                    else rel).upper() + "_"
         guard = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", text)
-        if "#pragma once" in text:
-            continue
+        # Repo decision (PR 9): canonical WSD_<PATH>_H_ guards uniformly,
+        # never `#pragma once` — guards are greppable, collision-checkable
+        # by this rule, and behave identically for hard-linked files.
+        pragma = re.search(r"#\s*pragma\s+once\b", stripped)
+        if pragma:
+            findings.append(Finding(
+                rel, line_of(stripped, pragma.start()), "include-guard",
+                "#pragma once — this repo standardizes on canonical "
+                f"#ifndef {expected} guards instead"))
         if not guard:
             findings.append(Finding(
                 rel, 1, "include-guard",
@@ -354,6 +376,161 @@ def check_simd_confinement(root: str, findings):
                     f"{what} outside src/util/simd*/cpu* — raw SIMD is "
                     "confined to the dispatch layer; call the primitives "
                     "in src/util/simd.h instead"))
+
+
+# --------------------------------------------------------------------------
+# Rules: raw-concurrency, guarded-field
+# --------------------------------------------------------------------------
+
+# The annotated wrapper layer itself is the only place allowed to touch the
+# std primitives.
+CONCURRENCY_EXEMPT = {os.path.join("src", "util", "mutex.h")}
+
+RAW_CONCURRENCY_BANNED = [
+    (re.compile(r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>"),
+     "raw concurrency header include"),
+    (re.compile(r"\bstd::(recursive_|timed_|recursive_timed_|shared_)?"
+                r"mutex\b"), "std::mutex family"),
+    (re.compile(r"\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "raw RAII lock type"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"\bstd::(once_flag|call_once)\b"),
+     "std::once_flag/call_once"),
+]
+
+
+def check_raw_concurrency(root: str, findings):
+    for rel in iter_files(root, LIBRARY_DIRS, (".h", ".cc")):
+        if rel in CONCURRENCY_EXEMPT:
+            continue
+        text = strip_code(read(root, rel))
+        for pattern, what in RAW_CONCURRENCY_BANNED:
+            for m in pattern.finditer(text):
+                findings.append(Finding(
+                    rel, line_of(text, m.start()), "raw-concurrency",
+                    f"{what} outside src/util/mutex.h — use the annotated "
+                    "wsd::Mutex/MutexLock/CondVar wrappers so clang "
+                    "-Wthread-safety can check the lock discipline"))
+
+
+# Matches a class/struct head up to its opening brace, tolerating attribute
+# macros like WSD_CAPABILITY("mutex") between keyword and name.
+CLASS_HEAD_RE = re.compile(
+    r"(?<![\w_])(?<!enum\s)(class|struct)\s+[^;{}()]*?\{")
+# A Mutex declared by value as a member (references/pointers are views of
+# someone else's mutex and carry no guarding obligation here).
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:^|[;{}\n])\s*(?:mutable\s+)?(?:wsd::)?Mutex\s+(\w+)\s*;")
+FIELD_DECL_RE = re.compile(
+    r"^[\w:<>,*&\s\[\]\.]+?[\s*&](\w+)\s*(?:=[^;]*)?$")
+FIELD_SKIP_TYPES = re.compile(
+    r"\b(Mutex|CondVar|OnceFlag|std::atomic|atomic_bool|atomic_int|"
+    r"atomic_size_t|atomic_uint\w*)\b")
+FIELD_SKIP_KEYWORDS = re.compile(
+    r"^\s*(static|constexpr|using|typedef|friend|enum|class|struct|"
+    r"template|operator|explicit|virtual|inline)\b")
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Index of the '}' matching the '{' at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def blank_nested_braces(body: str) -> str:
+    """Replaces every top-level nested {...} region in a class body with a
+    ';' terminator (plus padding) so inline function bodies and brace
+    initializers cannot swallow the following declaration, while offsets
+    are preserved."""
+    out = list(body)
+    i, n = 0, len(body)
+    while i < n:
+        if body[i] == "{":
+            close = match_brace(body, i)
+            if close == -1:
+                break
+            for j in range(i, close + 1):
+                if body[j] != "\n":
+                    out[j] = " "
+            out[close] = ";"
+            i = close + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def has_unguarded_marker(lines, decl_first_line: int) -> bool:
+    """True if an `unguarded:` waiver covers this declaration. A waiver
+    comment covers the blank-line-delimited paragraph it sits in, so one
+    comment can head a contiguous block of related fields."""
+    idx = decl_first_line - 1  # 0-based index of the declaration's 1st line
+    k = idx
+    while k >= 0 and lines[k].strip():
+        if "unguarded:" in lines[k]:
+            return True
+        k -= 1
+    return False
+
+
+def check_guarded_fields(root: str, findings):
+    for rel in iter_files(root, LIBRARY_DIRS, (".h", ".cc")):
+        if rel in CONCURRENCY_EXEMPT:
+            continue
+        raw = read(root, rel)
+        text = strip_code(raw)
+        raw_lines = raw.split("\n")
+        for head in CLASS_HEAD_RE.finditer(text):
+            open_pos = head.end() - 1
+            close_pos = match_brace(text, open_pos)
+            if close_pos == -1:
+                continue
+            body = blank_nested_braces(text[open_pos + 1:close_pos])
+            if not MUTEX_MEMBER_RE.search(body):
+                continue
+            base = open_pos + 1
+            # Walk top-level statements (nested regions are now ';').
+            start = 0
+            for m in re.finditer(r";", body):
+                stmt = body[start:m.start()]
+                stmt_off = start
+                start = m.end()
+                clean = re.sub(r"\b(public|private|protected)\s*:", " ", stmt)
+                clean = clean.strip()
+                if not clean or "(" in clean or ")" in clean:
+                    continue  # empty, function decl, or annotated via macro
+                if FIELD_SKIP_KEYWORDS.match(clean):
+                    continue
+                if "GUARDED_BY" in clean:
+                    continue
+                decl = FIELD_DECL_RE.match(clean)
+                if not decl:
+                    continue
+                type_part = clean[:clean.rindex(decl.group(1))]
+                if FIELD_SKIP_TYPES.search(type_part) or not type_part.strip():
+                    continue
+                # const members (including `T* const`) are immutable after
+                # construction and need no lock to read.
+                if re.match(r"(mutable\s+)?const\b", type_part) or \
+                        re.search(r"[*&]\s*const\s*$", type_part.strip()):
+                    continue
+                lead_ws = len(stmt) - len(stmt.lstrip())
+                pos = base + stmt_off + lead_ws
+                line = line_of(text, pos)
+                if has_unguarded_marker(raw_lines, line):
+                    continue
+                findings.append(Finding(
+                    rel, line, "guarded-field",
+                    f"field '{decl.group(1)}' shares a class with a Mutex "
+                    "but has no GUARDED_BY annotation; guard it, or waive "
+                    "with a preceding `// unguarded: <reason>` comment"))
 
 
 # --------------------------------------------------------------------------
@@ -451,6 +628,8 @@ def run_lint(root: str, update_frozen: bool = False):
     check_token_bans(root, findings)
     check_headers(root, findings)
     check_simd_confinement(root, findings)
+    check_raw_concurrency(root, findings)
+    check_guarded_fields(root, findings)
     check_frozen(root, findings, update_frozen)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
@@ -500,6 +679,31 @@ using namespace std;
 #ifndef TOTALLY_WRONG_GUARD_H
 #define TOTALLY_WRONG_GUARD_H
 #endif
+"""),
+    "raw-concurrency": ("src/util/bad_raw_mutex.cc", """
+#include <mutex>
+namespace wsd {
+std::mutex g_mu;
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return 1;
+}
+}  // namespace wsd
+"""),
+    "guarded-field": ("src/util/bad_guarded.h", """
+#ifndef WSD_UTIL_BAD_GUARDED_H_
+#define WSD_UTIL_BAD_GUARDED_H_
+#include "util/mutex.h"
+namespace wsd {
+class Tally {
+ public:
+  void Add(int v);
+ private:
+  Mutex mu_;
+  int counter_ = 0;
+};
+}  // namespace wsd
+#endif  // WSD_UTIL_BAD_GUARDED_H_
 """),
     "frozen-oracle": ("src/util/bad_frozen.cc", """
 // WSD_FROZEN_BEGIN(self_test_region)
