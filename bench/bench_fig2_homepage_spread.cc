@@ -17,7 +17,13 @@ int main(int argc, char** argv) {
 
   Study study(options);
   for (Domain domain : LocalBusinessDomains()) {
-    auto spread = study.RunSpread(domain, Attribute::kHomepage);
+    auto scan = study.Scan(domain, Attribute::kHomepage);
+    if (!scan.ok()) {
+      std::cerr << "scan failed for " << DomainName(domain) << ": "
+                << scan.status() << "\n";
+      return 1;
+    }
+    auto spread = study.RunSpread(*scan);
     if (!spread.ok()) {
       std::cerr << "spread failed for " << DomainName(domain) << ": "
                 << spread.status() << "\n";

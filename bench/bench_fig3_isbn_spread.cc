@@ -14,7 +14,12 @@ int main(int argc, char** argv) {
                      "Fig 3, §3.4", options);
 
   Study study(options);
-  auto spread = study.RunSpread(Domain::kBooks, Attribute::kIsbn);
+  auto scan = study.Scan(Domain::kBooks, Attribute::kIsbn);
+  if (!scan.ok()) {
+    std::cerr << "scan failed: " << scan.status() << "\n";
+    return 1;
+  }
+  auto spread = study.RunSpread(*scan);
   if (!spread.ok()) {
     std::cerr << "spread failed: " << spread.status() << "\n";
     return 1;

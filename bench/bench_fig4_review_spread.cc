@@ -17,7 +17,12 @@ int main(int argc, char** argv) {
                      "Fig 4(a)-(b), §3.4", options);
 
   Study study(options);
-  auto result = study.RunReviewSpread();
+  auto scan = study.Scan(Domain::kRestaurants, Attribute::kReviews);
+  if (!scan.ok()) {
+    std::cerr << "review scan failed: " << scan.status() << "\n";
+    return 1;
+  }
+  auto result = study.RunReviewSpread(*scan);
   if (!result.ok()) {
     std::cerr << "review spread failed: " << result.status() << "\n";
     return 1;

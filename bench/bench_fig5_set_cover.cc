@@ -15,7 +15,12 @@ int main(int argc, char** argv) {
                      "Fig 5, §3.4.1", options);
 
   Study study(options);
-  auto curve = study.RunSetCover(Domain::kRestaurants, Attribute::kHomepage);
+  auto scan = study.Scan(Domain::kRestaurants, Attribute::kHomepage);
+  if (!scan.ok()) {
+    std::cerr << "scan failed: " << scan.status() << "\n";
+    return 1;
+  }
+  auto curve = study.RunSetCover(*scan);
   if (!curve.ok()) {
     std::cerr << "set cover failed: " << curve.status() << "\n";
     return 1;

@@ -23,7 +23,13 @@ int main(int argc, char** argv) {
 
   auto run = [&](Domain domain, Attribute attr,
                  std::vector<Series>* out) -> bool {
-    auto points = study.RunRobustness(domain, attr, 10);
+    auto scan = study.Scan(domain, attr);
+    if (!scan.ok()) {
+      std::cerr << "scan failed for " << DomainName(domain) << "/"
+                << AttributeName(attr) << ": " << scan.status() << "\n";
+      return false;
+    }
+    auto points = study.RunRobustness(*scan, 10);
     if (!points.ok()) {
       std::cerr << "robustness failed for " << DomainName(domain) << "/"
                 << AttributeName(attr) << ": " << points.status() << "\n";

@@ -210,11 +210,12 @@ void BM_PageScanLegacy(benchmark::State& state) {
   uint64_t pages = 0;
   uint64_t bytes = 0;
   uint64_t hits = 0;
+  MatchScratch scratch;
   const Timer timer;
   for (auto _ : state) {
     for (const Page& page : corpus.pages) {
       const std::string text = html::ExtractVisibleTextLegacy(page.html);
-      hits += matcher.MatchPage(text).size();
+      hits += matcher.MatchPageInto(text, &scratch).size();
     }
     pages += corpus.pages.size();
     bytes += corpus.bytes;

@@ -18,7 +18,13 @@ int main(int argc, char** argv) {
   std::vector<GraphMetricsRow> rows;
 
   auto run = [&](Domain domain, Attribute attr) -> bool {
-    auto row = study.RunGraphMetrics(domain, attr);
+    auto scan = study.Scan(domain, attr);
+    if (!scan.ok()) {
+      std::cerr << "scan failed for " << DomainName(domain) << "/"
+                << AttributeName(attr) << ": " << scan.status() << "\n";
+      return false;
+    }
+    auto row = study.RunGraphMetrics(*scan);
     if (!row.ok()) {
       std::cerr << "graph metrics failed for " << DomainName(domain) << "/"
                 << AttributeName(attr) << ": " << row.status() << "\n";

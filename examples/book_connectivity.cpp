@@ -22,17 +22,18 @@ int main() {
   wsd::Study study(options);
 
   std::cout << "Scanning the synthetic book web for ISBNs...\n";
-  auto scan = study.RunScan(wsd::Domain::kBooks, wsd::Attribute::kIsbn);
+  // One scan feeds every analysis below (scan-once / analyze-many).
+  auto scan = study.Scan(wsd::Domain::kBooks, wsd::Attribute::kIsbn);
   if (!scan.ok()) {
     std::cerr << "scan failed: " << scan.status() << "\n";
     return 1;
   }
-  std::cout << "  " << scan->stats.pages_scanned << " pages, "
-            << scan->stats.entity_mentions << " ISBN mentions matched in "
-            << wsd::FormatF(scan->stats.wall_seconds, 2) << "s\n\n";
+  std::cout << "  " << scan->stats().pages_scanned << " pages, "
+            << scan->stats().entity_mentions << " ISBN mentions matched in "
+            << wsd::FormatF(scan->stats().wall_seconds, 2) << "s\n\n";
 
   const auto graph = wsd::BipartiteGraph::FromHostTable(
-      scan->table, options.ScaledEntities());
+      scan->table(), options.ScaledEntities());
   std::cout << "Entity-site graph: " << graph.num_covered_entities()
             << " covered entities, " << graph.num_sites() << " sites, "
             << graph.num_edges() << " edges (avg "
@@ -56,8 +57,7 @@ int main() {
                "at most d/2 = "
             << (diameter.diameter + 1) / 2 << " iterations (§5.2)\n\n";
 
-  auto robustness =
-      study.RunRobustness(wsd::Domain::kBooks, wsd::Attribute::kIsbn, 10);
+  auto robustness = study.RunRobustness(*scan, 10);
   if (!robustness.ok()) {
     std::cerr << "robustness failed: " << robustness.status() << "\n";
     return 1;

@@ -19,8 +19,14 @@ int main() {
 
   wsd::Study study(options);
 
-  auto spread =
-      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
+  // Scan once, then feed the handle to any analyses you need.
+  auto scan =
+      study.Scan(wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
+  if (!scan.ok()) {
+    std::cerr << "scan failed: " << scan.status() << "\n";
+    return 1;
+  }
+  auto spread = study.RunSpread(*scan);
   if (!spread.ok()) {
     std::cerr << "spread experiment failed: " << spread.status() << "\n";
     return 1;

@@ -46,10 +46,14 @@ int main(int argc, char** argv) {
   std::cout << "Building the synthetic restaurant web and scanning it for "
                "both attributes...\n\n";
 
-  auto phone =
-      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kPhone);
-  auto homepage =
-      study.RunSpread(wsd::Domain::kRestaurants, wsd::Attribute::kHomepage);
+  auto run_spread = [&](wsd::Attribute attr)
+      -> wsd::StatusOr<wsd::Study::SpreadResult> {
+    auto scan = study.Scan(wsd::Domain::kRestaurants, attr);
+    if (!scan.ok()) return scan.status();
+    return study.RunSpread(*scan);
+  };
+  auto phone = run_spread(wsd::Attribute::kPhone);
+  auto homepage = run_spread(wsd::Attribute::kHomepage);
   if (!phone.ok() || !homepage.ok()) {
     std::cerr << "scan failed: "
               << (phone.ok() ? homepage.status() : phone.status()) << "\n";

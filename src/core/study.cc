@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "extract/attribute_registry.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -67,6 +68,11 @@ Study::Study(const StudyOptions& options)
 }
 
 StatusOr<SyntheticWeb> Study::BuildWeb(Domain domain, Attribute attr) const {
+  if (!AttributeApplicableTo(GetAttributeSpec(attr), domain)) {
+    return Status::InvalidArgument(
+        std::string(AttributeName(attr)) + " does not apply to domain " +
+        std::string(DomainName(domain)));
+  }
   SyntheticWeb::Config config;
   config.domain = domain;
   config.attr = attr;
@@ -81,11 +87,19 @@ StatusOr<SyntheticWeb> Study::BuildWeb(Domain domain, Attribute attr) const {
 }
 
 StatusOr<ScanResult> Study::RunScanUncached(Domain domain, Attribute attr) {
+  const AttributeSpec& spec = GetAttributeSpec(attr);
+  if (options_.legacy_scan && spec.min_snapshot_version > 2) {
+    // The byte-frozen legacy oracle predates post-v2 channels and cannot
+    // see explicit markup; refuse rather than silently scan nothing.
+    return Status::InvalidArgument(
+        std::string(AttributeName(attr)) +
+        " scans run the kernel path only; unset WSD_LEGACY_SCAN");
+  }
   auto web = BuildWeb(domain, attr);
   if (!web.ok()) return web.status();
 
   const ReviewDetector* detector = nullptr;
-  if (attr == Attribute::kReviews) {
+  if (spec.review_channel) {
     if (!detector_.has_value()) {
       auto built = ReviewDetector::CreateDefault(options_.seed ^ 0xdecafULL);
       if (!built.ok()) return built.status();
@@ -153,7 +167,7 @@ StatusOr<ScanResult> Study::RunShardScan(Domain domain, Attribute attr,
   if (!web.ok()) return web.status();
 
   const ReviewDetector* detector = nullptr;
-  if (attr == Attribute::kReviews) {
+  if (GetAttributeSpec(attr).review_channel) {
     if (!detector_.has_value()) {
       auto built = ReviewDetector::CreateDefault(options_.seed ^ 0xdecafULL);
       if (!built.ok()) return built.status();
@@ -171,13 +185,6 @@ StatusOr<ScanResult> Study::RunScan(Domain domain, Attribute attr) {
   return ScanResult(scan->result());
 }
 
-StatusOr<Study::SpreadResult> Study::RunSpread(Domain domain, Attribute attr,
-                                               uint32_t max_k) {
-  auto scan = Scan(domain, attr);
-  if (!scan.ok()) return scan.status();
-  return RunSpread(*scan, max_k);
-}
-
 StatusOr<Study::SpreadResult> Study::RunSpread(const ScanHandle& scan,
                                                uint32_t max_k) {
   auto curve = ComputeKCoverage(
@@ -189,12 +196,6 @@ StatusOr<Study::SpreadResult> Study::RunSpread(const ScanHandle& scan,
   result.curve = std::move(curve).value();
   result.stats = scan.stats();
   return result;
-}
-
-StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(uint32_t max_k) {
-  auto scan = Scan(Domain::kRestaurants, Attribute::kReviews);
-  if (!scan.ok()) return scan.status();
-  return RunReviewSpread(*scan, max_k);
 }
 
 StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(
@@ -213,12 +214,6 @@ StatusOr<Study::ReviewSpreadResult> Study::RunReviewSpread(
   return result;
 }
 
-StatusOr<SetCoverCurve> Study::RunSetCover(Domain domain, Attribute attr) {
-  auto scan = Scan(domain, attr);
-  if (!scan.ok()) return scan.status();
-  return RunSetCover(*scan);
-}
-
 StatusOr<SetCoverCurve> Study::RunSetCover(const ScanHandle& scan) {
   return GreedySetCover(
       scan.table(), options_.ScaledEntities(),
@@ -226,23 +221,9 @@ StatusOr<SetCoverCurve> Study::RunSetCover(const ScanHandle& scan) {
           static_cast<uint32_t>(scan.table().num_hosts())));
 }
 
-StatusOr<GraphMetricsRow> Study::RunGraphMetrics(Domain domain,
-                                                 Attribute attr) {
-  auto scan = Scan(domain, attr);
-  if (!scan.ok()) return scan.status();
-  return RunGraphMetrics(*scan);
-}
-
 StatusOr<GraphMetricsRow> Study::RunGraphMetrics(const ScanHandle& scan) {
   return ComputeGraphMetrics(scan.domain(), scan.attr(), scan.table(),
                              options_.ScaledEntities(), pool_.get());
-}
-
-StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(
-    Domain domain, Attribute attr, uint32_t max_removed) {
-  auto scan = Scan(domain, attr);
-  if (!scan.ok()) return scan.status();
-  return RunRobustness(*scan, max_removed);
 }
 
 StatusOr<std::vector<RobustnessPoint>> Study::RunRobustness(

@@ -113,39 +113,35 @@ class Study {
                                                   Attribute attr,
                                                   const ShardSpec& shard);
 
-  /// Figures 1-3: scan + k-coverage curves.
+  /// Figures 1-3: scan + k-coverage curves. Like every analysis below,
+  /// this reads through a ScanHandle — obtain one with Scan(domain, attr)
+  /// and fan it out to as many analyses as needed (the duplicated
+  /// (domain, attr) convenience overloads were removed; scan-once /
+  /// analyze-many is the only shape).
   struct SpreadResult {
     CoverageCurve curve;
     ScanStats stats;
   };
-  [[nodiscard]] StatusOr<SpreadResult> RunSpread(Domain domain, Attribute attr,
-                                   uint32_t max_k = 10);
   [[nodiscard]] StatusOr<SpreadResult> RunSpread(const ScanHandle& scan,
                                    uint32_t max_k = 10);
 
   /// Figure 4: restaurant review spread, site-level (a) and page-level
-  /// (b).
+  /// (b). `scan` must be a (kRestaurants, kReviews) handle.
   struct ReviewSpreadResult {
     CoverageCurve site_curve;
     PageCoverageCurve page_curve;
     ScanStats stats;
   };
-  [[nodiscard]] StatusOr<ReviewSpreadResult> RunReviewSpread(uint32_t max_k = 10);
-  /// `scan` must be a (kRestaurants, kReviews) handle.
   [[nodiscard]] StatusOr<ReviewSpreadResult> RunReviewSpread(
       const ScanHandle& scan, uint32_t max_k = 10);
 
   /// Figure 5: greedy set cover vs. size ordering.
-  [[nodiscard]] StatusOr<SetCoverCurve> RunSetCover(Domain domain, Attribute attr);
   [[nodiscard]] StatusOr<SetCoverCurve> RunSetCover(const ScanHandle& scan);
 
   /// Table 2 row for one graph.
-  [[nodiscard]] StatusOr<GraphMetricsRow> RunGraphMetrics(Domain domain, Attribute attr);
   [[nodiscard]] StatusOr<GraphMetricsRow> RunGraphMetrics(const ScanHandle& scan);
 
   /// Figure 9 sweep for one graph.
-  [[nodiscard]] StatusOr<std::vector<RobustnessPoint>> RunRobustness(
-      Domain domain, Attribute attr, uint32_t max_removed = 10);
   [[nodiscard]] StatusOr<std::vector<RobustnessPoint>> RunRobustness(
       const ScanHandle& scan, uint32_t max_removed = 10);
 

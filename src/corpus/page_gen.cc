@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "entity/isbn.h"
 #include "entity/phone.h"
+#include "extract/attribute_registry.h"
 #include "html/char_ref.h"
 #include "text/review_lm.h"
 #include "util/hash.h"
@@ -15,6 +15,11 @@ namespace wsd {
 
 namespace {
 
+// Salt separating the per-site annotation stream from the page-rendering
+// stream: adoption decisions must not perturb the bytes of non-annotated
+// channels (legacy corpora stay bit-identical).
+constexpr uint64_t kAnnotationSeedSalt = 0x616e6e6f74ULL;  // "annot"
+
 // Page layout family. Real directory sites render listings as blocks,
 // table rows, or bullet lists; the extractor must handle all of them
 // (and the tokenizer/DOM get exercised on all three element families).
@@ -25,49 +30,20 @@ enum class PageLayout : int {
   kNumLayouts = 3,
 };
 
-// Renders the identifying attribute part of one mention. Formatted
-// phones (max 15 chars) fit small-string capacity; ISBNs render through
-// FormatIsbnInto — so no heap allocation per mention.
-void RenderAttribute(const Entity& e, Attribute attr, Rng& rng,
-                     std::string* out) {
-  switch (attr) {
-    case Attribute::kPhone:
-    case Attribute::kReviews: {
-      const auto format = static_cast<PhoneFormat>(
-          rng.Uniform(static_cast<uint64_t>(PhoneFormat::kNumFormats)));
-      out->append(" &middot; Call ");
-      out->append(e.phone.Format(format));
-      break;
-    }
-    case Attribute::kHomepage: {
-      out->append(" &middot; <a href=\"http://www.");
-      out->append(e.homepage_host);
-      out->append("/\">Visit website</a>");
-      break;
-    }
-    case Attribute::kIsbn: {
-      const auto style = static_cast<IsbnStyle>(
-          rng.Uniform(static_cast<uint64_t>(IsbnStyle::kNumStyles)));
-      out->append(" &middot; ISBN ");
-      FormatIsbnInto(e.isbn13, style, out);
-      break;
-    }
-    case Attribute::kNumAttributes:
-      break;
-  }
-}
-
 // Emits one listing entry for an entity: name, city, and the identifying
-// attribute in a randomly chosen surface form, in the page's layout.
-void RenderMention(const Entity& e, Attribute attr, PageLayout layout,
-                   Rng& rng, std::string* out) {
+// attribute in a randomly chosen surface form (via the channel's registry
+// render hook), in the page's layout. `annotation` is the site's schema.org
+// annotation mode bits (0 for channels without explicit markup).
+void RenderMention(const AttributeSpec& spec, const Entity& e,
+                   uint32_t annotation, PageLayout layout, Rng& rng,
+                   std::string* out) {
   switch (layout) {
     case PageLayout::kDivBlocks:
       out->append("<div class=\"listing\"><h3>");
       html::EscapeHtmlInto(e.name, out);
       out->append("</h3><p class=\"meta\">");
       html::EscapeHtmlInto(e.city, out);
-      RenderAttribute(e, attr, rng, out);
+      spec.render_mention(e, rng, annotation, out);
       out->append("</p></div>\n");
       break;
     case PageLayout::kTableRows:
@@ -76,7 +52,7 @@ void RenderMention(const Entity& e, Attribute attr, PageLayout layout,
       out->append("</td><td>");
       html::EscapeHtmlInto(e.city, out);
       out->append("</td><td>");
-      RenderAttribute(e, attr, rng, out);
+      spec.render_mention(e, rng, annotation, out);
       out->append("</td></tr>\n");
       break;
     case PageLayout::kBulletList:
@@ -84,7 +60,7 @@ void RenderMention(const Entity& e, Attribute attr, PageLayout layout,
       html::EscapeHtmlInto(e.name, out);
       out->append("</b>, ");
       html::EscapeHtmlInto(e.city, out);
-      RenderAttribute(e, attr, rng, out);
+      spec.render_mention(e, rng, annotation, out);
       out->append("</li>\n");
       break;
     case PageLayout::kNumLayouts:
@@ -165,7 +141,7 @@ PageGenerator::PageGenerator(const DomainCatalog& catalog,
 uint32_t PageGenerator::CountPages(SiteId s) const {
   const uint32_t mentions = model_.site_size(s);
   if (mentions == 0) return 0;
-  if (options_.attr == Attribute::kReviews) {
+  if (GetAttributeSpec(options_.attr).review_channel) {
     // One page per (entity, mention_page).
     uint32_t pages = 0;
     for (const SiteMention* m = model_.site_begin(s); m != model_.site_end(s);
@@ -188,6 +164,13 @@ void PageGenerator::GeneratePages(
                 [&](const Page& p, const PageTruth& t) { sink(p, t); });
 }
 
+uint32_t PageGenerator::SiteAnnotation(SiteId s) const {
+  const AttributeSpec& spec = GetAttributeSpec(options_.attr);
+  if (spec.site_annotation == nullptr) return 0;
+  Rng rng(HashCombine(seed_ ^ kAnnotationSeedSalt, MixHash64(s + 1)));
+  return spec.site_annotation(model_.site_size(s), rng);
+}
+
 uint32_t PageGenerator::GeneratePages(
     SiteId s, Page* scratch,
     FunctionRef<void(const Page&, const PageTruth&)> sink) const {
@@ -195,6 +178,8 @@ uint32_t PageGenerator::GeneratePages(
   // bytes regardless of visit order, which keeps the parallel scan
   // reproducible.
   Rng rng(HashCombine(seed_, MixHash64(s + 1)));
+  const AttributeSpec& spec = GetAttributeSpec(options_.attr);
+  const uint32_t annotation = SiteAnnotation(s);
   const std::string& host = model_.host(s);
   const SiteMention* begin = model_.site_begin(s);
   const SiteMention* end = model_.site_end(s);
@@ -204,7 +189,7 @@ uint32_t PageGenerator::GeneratePages(
   PageTruth truth;
   truth.site = s;
 
-  if (options_.attr == Attribute::kReviews) {
+  if (spec.review_channel) {
     // Review/boilerplate prose is generated into a reused buffer and
     // HTML-escaped from there (the sentence templates still allocate
     // internally; the reviews corpus is not on the zero-alloc path).
@@ -219,7 +204,7 @@ uint32_t PageGenerator::GeneratePages(
                      m->entity, rep);
         page.html.clear();
         RenderPageHead(host, page_index, &page.html);
-        RenderMention(e, Attribute::kReviews, PageLayout::kDivBlocks, rng,
+        RenderMention(spec, e, annotation, PageLayout::kDivBlocks, rng,
                       &page.html);
         page.html.append("<div class=\"content\"><p>");
         text.clear();
@@ -259,7 +244,7 @@ uint32_t PageGenerator::GeneratePages(
     OpenLayout(layout, &page.html);
     uint32_t distractors = 0;
     for (uint32_t j = 0; j < count; ++j) {
-      RenderMention(catalog_.entity(begin[i + j].entity), options_.attr,
+      RenderMention(spec, catalog_.entity(begin[i + j].entity), annotation,
                     layout, rng, &page.html);
       if (rng.Bernoulli(options_.distractor_prob)) {
         // Keep table/list markup well-formed: block-level distractors go
@@ -274,6 +259,12 @@ uint32_t PageGenerator::GeneratePages(
     CloseLayout(layout, &page.html);
     for (uint32_t d = 0; d < distractors; ++d) {
       RenderDistractor(options_.attr, rng, &page.html);
+    }
+    if (spec.render_page_epilogue != nullptr) {
+      // The explicit-markup channel's JSON-LD block covering this page's
+      // entity slice (no-op unless the site adopted JSON-LD).
+      spec.render_page_epilogue(catalog_, begin + i, count, annotation, rng,
+                                &page.html);
     }
     RenderPageFoot(&page.html);
     truth.page_index = page_index;

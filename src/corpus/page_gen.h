@@ -73,6 +73,13 @@ class PageGenerator {
   /// Total pages that would be rendered for site `s` (cheap; no HTML).
   uint32_t CountPages(SiteId s) const;
 
+  /// The site's schema.org annotation mode bits (kAnnotateMicrodata /
+  /// kAnnotateJsonLd), drawn from a dedicated deterministic stream via the
+  /// attribute's AttributeSpec::site_annotation hook. 0 for channels
+  /// without explicit markup and for non-adopting sites. Ground truth for
+  /// the adoption-filtered spread tests and experiments.
+  uint32_t SiteAnnotation(SiteId s) const;
+
   const PageGenOptions& options() const { return options_; }
 
  private:

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "extract/attribute_registry.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -12,139 +13,9 @@
 
 namespace wsd {
 
-namespace {
-
-// Relative ordering of Table 2's connected-component counts: Home & Garden
-// has thousands, Retail hundreds, Books hundreds, the rest dozens or fewer.
-double IsolatedFractionFor(Domain d) {
-  switch (d) {
-    case Domain::kHomeGarden:
-      return 0.005;
-    case Domain::kRetail:
-      return 0.0025;
-    case Domain::kBooks:
-      return 0.0015;
-    case Domain::kRestaurants:
-    case Domain::kSchools:
-      return 0.001;
-    case Domain::kBanks:
-      return 0.0006;
-    case Domain::kHotels:
-      return 0.0005;
-    case Domain::kAutomotive:
-      return 0.0004;
-    case Domain::kLibraries:
-      return 0.0002;
-    case Domain::kNumDomains:
-      break;
-  }
-  return 0.001;
-}
-
-// Table 2 "Avg. #sites per entity", phone rows.
-double PhoneMeanDegree(Domain d) {
-  switch (d) {
-    case Domain::kAutomotive:
-      return 13;
-    case Domain::kBanks:
-      return 22;
-    case Domain::kHomeGarden:
-      return 13;
-    case Domain::kHotels:
-      return 56;
-    case Domain::kLibraries:
-      return 47;
-    case Domain::kRestaurants:
-      return 32;
-    case Domain::kRetail:
-      return 19;
-    case Domain::kSchools:
-      return 37;
-    default:
-      return 32;
-  }
-}
-
-// Table 2 "Avg. #sites per entity", homepage rows.
-double HomepageMeanDegree(Domain d) {
-  switch (d) {
-    case Domain::kAutomotive:
-      return 115;
-    case Domain::kBanks:
-      return 68;
-    case Domain::kHomeGarden:
-      return 20;
-    case Domain::kHotels:
-      return 56;
-    case Domain::kLibraries:
-      return 251;
-    case Domain::kRestaurants:
-      return 46;
-    case Domain::kRetail:
-      return 45;
-    case Domain::kSchools:
-      return 74;
-    default:
-      return 46;
-  }
-}
-
-}  // namespace
-
 SpreadParams DefaultSpreadParams(Domain domain, Attribute attr) {
-  SpreadParams p;
-  p.isolated_fraction = IsolatedFractionFor(domain);
-  switch (attr) {
-    case Attribute::kPhone:
-      p.num_sites = 12000;
-      p.flat_alpha = 0.7;
-      p.head_alpha = 1.1;
-      p.head_bias = 0.70;
-      p.mean_degree = PhoneMeanDegree(domain);
-      p.degree_sigma = 1.05;
-      p.mention_extra = 0.3;
-      p.head_degree_ref = 4.0;
-      break;
-    case Attribute::kHomepage:
-      p.num_sites = 20000;
-      p.flat_alpha = 0.45;
-      p.head_alpha = 1.2;
-      p.head_bias = 0.30;
-      p.mean_degree = HomepageMeanDegree(domain);
-      p.degree_sigma = 1.8;
-      p.isolated_fraction *= 1.2;
-      p.mention_extra = 0.2;
-      break;
-    case Attribute::kIsbn:
-      p.num_sites = 12000;
-      p.flat_alpha = 0.7;
-      p.head_alpha = 1.05;
-      p.head_bias = 0.70;
-      p.mean_degree = 8;
-      p.degree_sigma = 0.95;
-      p.mention_extra = 0.2;
-      p.head_degree_ref = 4.0;
-      break;
-    case Attribute::kReviews:
-      p.num_sites = 12000;
-      p.flat_alpha = 0.55;
-      p.head_alpha = 1.1;
-      p.head_bias = 0.55;
-      p.mean_degree = 8;
-      p.degree_sigma = 0.8;
-      // Multiple review pages about the same restaurant on one site are
-      // common, and far more so on head aggregators; drives the Fig 4(b)
-      // page-level series.
-      p.mention_extra = 1.2;
-      p.head_page_boost = 5.0;
-      // Local-only restaurants reviewed exclusively on tail blogs: the
-      // reason 90% 1-coverage needs >1000 sites (Fig 4a).
-      p.local_fraction = 0.08;
-      break;
-    case Attribute::kNumAttributes:
-      break;
-  }
-  return p;
+  // The per-channel calibration tables live in the attribute registry.
+  return GetAttributeSpec(attr).default_spread(domain);
 }
 
 StatusOr<SiteEntityModel> SiteEntityModel::Build(const DomainCatalog& catalog,

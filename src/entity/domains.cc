@@ -30,21 +30,8 @@ std::string_view DomainName(Domain d) {
   return "Unknown";
 }
 
-std::string_view AttributeName(Attribute a) {
-  switch (a) {
-    case Attribute::kIsbn:
-      return "ISBN";
-    case Attribute::kPhone:
-      return "phone";
-    case Attribute::kHomepage:
-      return "homepage";
-    case Attribute::kReviews:
-      return "reviews";
-    case Attribute::kNumAttributes:
-      break;
-  }
-  return "unknown";
-}
+// AttributeName is defined in extract/attribute_registry.cc: all name<->id
+// lookups route through the AttributeSpec table, never per-TU switches.
 
 NameKind NameKindFor(Domain d) {
   switch (d) {
@@ -73,26 +60,32 @@ NameKind NameKindFor(Domain d) {
   return NameKind::kRestaurant;
 }
 
-std::vector<Attribute> StudiedAttributes(Domain d) {
-  if (d == Domain::kBooks) return {Attribute::kIsbn};
-  if (d == Domain::kRestaurants) {
-    return {Attribute::kPhone, Attribute::kHomepage, Attribute::kReviews};
-  }
-  return {Attribute::kPhone, Attribute::kHomepage};
+std::span<const Attribute> StudiedAttributes(Domain d) {
+  static constexpr Attribute kBookAttrs[] = {Attribute::kIsbn};
+  static constexpr Attribute kRestaurantAttrs[] = {
+      Attribute::kPhone, Attribute::kHomepage, Attribute::kReviews};
+  static constexpr Attribute kLocalAttrs[] = {Attribute::kPhone,
+                                              Attribute::kHomepage};
+  if (d == Domain::kBooks) return kBookAttrs;
+  if (d == Domain::kRestaurants) return kRestaurantAttrs;
+  return kLocalAttrs;
 }
 
-std::vector<Domain> AllDomains() {
-  std::vector<Domain> out;
-  for (int i = 0; i < kNumDomains; ++i) {
-    out.push_back(static_cast<Domain>(i));
-  }
-  return out;
+std::span<const Domain> AllDomains() {
+  static constexpr Domain kAll[] = {
+      Domain::kBooks,     Domain::kRestaurants, Domain::kAutomotive,
+      Domain::kBanks,     Domain::kLibraries,   Domain::kSchools,
+      Domain::kHotels,    Domain::kRetail,      Domain::kHomeGarden};
+  static_assert(std::size(kAll) == kNumDomains);
+  return kAll;
 }
 
-std::vector<Domain> LocalBusinessDomains() {
-  return {Domain::kRestaurants, Domain::kAutomotive, Domain::kBanks,
-          Domain::kLibraries,   Domain::kSchools,    Domain::kHotels,
-          Domain::kRetail,      Domain::kHomeGarden};
+std::span<const Domain> LocalBusinessDomains() {
+  static constexpr Domain kLocal[] = {
+      Domain::kRestaurants, Domain::kAutomotive, Domain::kBanks,
+      Domain::kLibraries,   Domain::kSchools,    Domain::kHotels,
+      Domain::kRetail,      Domain::kHomeGarden};
+  return kLocal;
 }
 
 }  // namespace wsd

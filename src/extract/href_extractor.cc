@@ -7,14 +7,6 @@
 
 namespace wsd {
 
-std::vector<HrefMatch> ExtractHrefs(std::string_view page_html) {
-  std::vector<HrefMatch> out;
-  HrefScratch scratch;
-  ExtractHrefsInto(page_html, &scratch,
-                   [&](const HrefMatch& m) { out.push_back(m); });
-  return out;
-}
-
 void ExtractHrefsInto(std::string_view page_html, HrefScratch* scratch,
                       FunctionRef<void(const HrefMatch&)> sink) {
   html::Tokenizer tokenizer(page_html);

@@ -3,7 +3,6 @@
 
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "util/function_ref.h"
 
@@ -26,12 +25,7 @@ struct HrefScratch {
 /// on the page ("we looked at the content of href tags of all anchor
 /// nodes", paper §3.2). Relative links and non-http schemes are skipped.
 ///
-/// Deprecated: materializes a vector of matches per call. New call sites
-/// should use ExtractHrefsInto with a long-lived HrefScratch; this
-/// wrapper remains for one-shot convenience.
-std::vector<HrefMatch> ExtractHrefs(std::string_view page_html);
-
-/// Streaming variant: walks the page with the view tokenizer, lazily
+/// Walks the page with the view tokenizer, lazily
 /// parses only <a> tag bodies for their first href, and canonicalizes
 /// into scratch-owned buffers. Invokes `sink` once per qualifying anchor,
 /// in document order, with scratch->match (reused; copy what you need).

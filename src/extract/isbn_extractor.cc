@@ -31,13 +31,6 @@ bool HasIsbnContext(std::string_view text, size_t begin, size_t end) {
 
 }  // namespace
 
-std::vector<IsbnMatch> ExtractIsbns(std::string_view text) {
-  std::vector<IsbnMatch> matches;
-  ExtractIsbnsInto(text,
-                   [&](const IsbnMatch& m) { matches.push_back(m); });
-  return matches;
-}
-
 void ExtractIsbnsInto(std::string_view text,
                       FunctionRef<void(const IsbnMatch&)> sink) {
   IsbnMatch m;       // reused across matches

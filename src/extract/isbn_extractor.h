@@ -3,7 +3,6 @@
 
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "util/function_ref.h"
 
@@ -20,12 +19,7 @@ struct IsbnMatch {
 /// valid check digit, "along with the string 'ISBN' in a small window
 /// near the match". ISBN-10 matches are normalized to ISBN-13.
 ///
-/// Deprecated: materializes a vector of matches per call. New call sites
-/// should use ExtractIsbnsInto, which streams matches to a sink with no
-/// per-call allocation; this wrapper remains for one-shot convenience.
-std::vector<IsbnMatch> ExtractIsbns(std::string_view text);
-
-/// Streaming variant: invokes `sink` once per match, in document order,
+/// Invokes `sink` once per match, in document order,
 /// with a match object that is reused across calls (copy what you need).
 /// Bare ISBN-13s fit small-string capacity, so the scan kernel pays no
 /// heap allocation per match.

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "extract/isbn_extractor.h"
-#include "extract/phone_extractor.h"
+#include "extract/attribute_registry.h"
 
 namespace wsd {
 
@@ -17,29 +16,8 @@ const std::vector<EntityId>& EntityMatcher::MatchPageInto(
     std::string_view content, MatchScratch* scratch) const {
   std::vector<EntityId>& ids = scratch->ids;
   ids.clear();
-  switch (attr_) {
-    case Attribute::kPhone:
-    case Attribute::kReviews:
-      ExtractPhonesInto(content, [&](const PhoneMatch& m) {
-        const EntityId id = catalog_.FindByPhone(m.digits);
-        if (id != kInvalidEntityId) ids.push_back(id);
-      });
-      break;
-    case Attribute::kIsbn:
-      ExtractIsbnsInto(content, [&](const IsbnMatch& m) {
-        const EntityId id = catalog_.FindByIsbn13(m.isbn13);
-        if (id != kInvalidEntityId) ids.push_back(id);
-      });
-      break;
-    case Attribute::kHomepage:
-      ExtractHrefsInto(content, &scratch->href, [&](const HrefMatch& m) {
-        const EntityId id = catalog_.FindByHomepage(m.canonical);
-        if (id != kInvalidEntityId) ids.push_back(id);
-      });
-      break;
-    case Attribute::kNumAttributes:
-      break;
-  }
+  GetAttributeSpec(attr_).match_into(catalog_, content, scratch,
+                                     [&](EntityId id) { ids.push_back(id); });
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;

@@ -7,8 +7,11 @@
 #include "entity/catalog.h"
 #include "entity/domains.h"
 #include "extract/href_extractor.h"
+#include "extract/microdata_extractor.h"
 
 namespace wsd {
+
+class ScanPipeline;
 
 /// Reusable buffers for EntityMatcher::MatchPageInto. One per scan shard;
 /// capacities reach their watermark after a few pages and are reused for
@@ -16,6 +19,7 @@ namespace wsd {
 struct MatchScratch {
   std::vector<EntityId> ids;  // the match result (sorted, deduplicated)
   HrefScratch href;           // homepage-attribute buffers
+  MicrodataScratch micro;     // schema.org channel buffers
 };
 
 /// Resolves raw page content to catalog entity ids for one identifying
@@ -29,24 +33,24 @@ class EntityMatcher {
   EntityMatcher(const DomainCatalog& catalog, Attribute attr)
       : catalog_(catalog), attr_(attr) {}
 
-  /// Matches entities on a page. For kPhone/kIsbn/kReviews the input is
-  /// the page's visible text; for kHomepage it is the raw HTML (anchors
-  /// are parsed internally).
-  ///
-  /// Deprecated: allocates a fresh vector per page. New call sites
-  /// should use MatchPageInto with a long-lived MatchScratch; this
-  /// wrapper remains for one-shot convenience.
-  std::vector<EntityId> MatchPage(std::string_view content) const;
-
-  /// Zero-allocation kernel behind MatchPage: fills scratch->ids (cleared
-  /// first, capacity reused) with the sorted, deduplicated entity ids of
-  /// the page. Returns scratch->ids for convenience.
+  /// Matches entities on a page via the attribute's registry match hook:
+  /// fills scratch->ids (cleared first, capacity reused) with the sorted,
+  /// deduplicated entity ids of the page. The input is the page's visible
+  /// text, or the raw HTML when the channel's AttributeSpec sets
+  /// scan_raw_html (homepage anchors, schema.org markup). Returns
+  /// scratch->ids for convenience.
   const std::vector<EntityId>& MatchPageInto(std::string_view content,
                                              MatchScratch* scratch) const;
 
   Attribute attribute() const { return attr_; }
 
  private:
+  friend class ScanPipeline;  // RunLegacy (the frozen oracle) only
+
+  /// Value-returning wrapper kept solely for the byte-frozen legacy scan
+  /// oracle (scan_pipeline.cc); every live call site uses MatchPageInto.
+  std::vector<EntityId> MatchPage(std::string_view content) const;
+
   const DomainCatalog& catalog_;
   Attribute attr_;
 };

@@ -1,0 +1,248 @@
+#include "extract/microdata_extractor.h"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "html/char_ref.h"
+#include "html/tokenizer.h"
+#include "util/string_util.h"
+
+namespace wsd {
+
+namespace {
+
+// Bound on one captured property value: listing-page phones are tens of
+// bytes; anything larger is adversarial input we refuse to buffer.
+constexpr size_t kMaxValueBytes = 4096;
+
+// HTML void elements: itemprop on these can only carry a value via the
+// content attribute, never element text. The size gate keeps the name
+// comparisons off the common-tag path.
+bool IsVoidElement(std::string_view name) {
+  switch (name.size()) {
+    case 2:
+      return EqualsIgnoreCase(name, "br") || EqualsIgnoreCase(name, "hr");
+    case 3:
+      return EqualsIgnoreCase(name, "img") || EqualsIgnoreCase(name, "col") ||
+             EqualsIgnoreCase(name, "wbr");
+    case 4:
+      return EqualsIgnoreCase(name, "meta") ||
+             EqualsIgnoreCase(name, "link") ||
+             EqualsIgnoreCase(name, "base") || EqualsIgnoreCase(name, "area");
+    case 5:
+      return EqualsIgnoreCase(name, "input") ||
+             EqualsIgnoreCase(name, "embed") ||
+             EqualsIgnoreCase(name, "track") ||
+             EqualsIgnoreCase(name, "param");
+    case 6:
+      return EqualsIgnoreCase(name, "source");
+    default:
+      return false;
+  }
+}
+
+int HexDigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool IsJsonWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Parses the JSON string whose opening quote is at json[i], appending the
+// decoded bytes to *out (caller clears). Returns the index one past the
+// closing quote, or npos on malformed/truncated input — partial *out
+// contents must then be discarded by the caller.
+size_t ParseJsonStringAt(std::string_view json, size_t i, std::string* out) {
+  constexpr size_t npos = std::string_view::npos;
+  ++i;  // opening quote
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '"') return i + 1;
+    if (c == '\\') {
+      if (i + 1 >= json.size()) return npos;
+      switch (json[i + 1]) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (i + 5 >= json.size()) return npos;
+          uint32_t cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const int d = HexDigitValue(json[i + 2 + k]);
+            if (d < 0) return npos;
+            cp = cp * 16 + static_cast<uint32_t>(d);
+          }
+          // Surrogates would need pairing; phones never need them and a
+          // lone surrogate is invalid JSON text — fail closed.
+          if (cp >= 0xD800 && cp <= 0xDFFF) return npos;
+          AppendUtf8(cp, out);
+          i += 6;
+          continue;
+        }
+        default:
+          return npos;
+      }
+      i += 2;
+      continue;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return npos;  // raw control
+    if (out->size() < kMaxValueBytes) out->push_back(c);
+    ++i;
+  }
+  return npos;  // unterminated
+}
+
+// Scans one JSON-LD block for "telephone" keys with string values. The
+// block is tokenized as a sequence of JSON strings (everything between
+// them is skipped byte-wise), so arbitrarily nested @graph structures
+// work without a recursive parser. Stops at the first malformed string.
+void ScanJsonLdBlock(std::string_view json, MicrodataScratch* scratch,
+                     FunctionRef<void(std::string_view)> sink) {
+  constexpr size_t npos = std::string_view::npos;
+  size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      ++i;
+      continue;
+    }
+    scratch->value.clear();
+    const size_t end = ParseJsonStringAt(json, i, &scratch->value);
+    if (end == npos) return;  // malformed/truncated block: fail closed
+    i = end;
+    if (scratch->value != "telephone") continue;
+    size_t j = i;
+    while (j < json.size() && IsJsonWs(json[j])) ++j;
+    if (j >= json.size() || json[j] != ':') continue;  // not a key
+    ++j;
+    while (j < json.size() && IsJsonWs(json[j])) ++j;
+    if (j >= json.size() || json[j] != '"') {
+      // telephone with a non-string value (number/object): skip it but
+      // keep scanning the rest of the block.
+      i = j;
+      continue;
+    }
+    scratch->decoded.clear();
+    const size_t value_end = ParseJsonStringAt(json, j, &scratch->decoded);
+    if (value_end == npos) return;
+    sink(scratch->decoded);
+    i = value_end;
+  }
+}
+
+}  // namespace
+
+void ExtractMicrodataInto(std::string_view page_html,
+                          MicrodataScratch* scratch,
+                          FunctionRef<void(std::string_view)> sink) {
+  html::Tokenizer tok(page_html);
+  html::TokenView view;
+  // Non-empty while inside an itemprop="telephone" element: the element
+  // name whose balanced close ends the capture. Views into page_html.
+  std::string_view capture_element;
+  int depth = 0;
+  while (tok.NextView(&view)) {
+    if (!capture_element.empty()) {
+      if (view.type == html::TokenType::kText) {
+        const size_t room = kMaxValueBytes - scratch->value.size();
+        scratch->value.append(view.text.substr(0, room));
+      } else if (view.type == html::TokenType::kStartTag) {
+        if (!view.self_closing &&
+            EqualsIgnoreCase(view.text, capture_element)) {
+          ++depth;
+        }
+      } else if (view.type == html::TokenType::kEndTag &&
+                 EqualsIgnoreCase(view.text, capture_element)) {
+        if (--depth == 0) {
+          capture_element = std::string_view();
+          scratch->decoded.clear();
+          html::DecodeCharRefsInto(scratch->value, &scratch->decoded);
+          sink(scratch->decoded);
+        }
+      }
+      continue;
+    }
+    if (view.type != html::TokenType::kStartTag) continue;
+    std::string_view prop;
+    if (!html::FindTagAttribute(view.tag_body, "itemprop", &prop)) continue;
+    if (!EqualsIgnoreCase(prop, "telephone")) continue;
+    std::string_view content;
+    if (html::FindTagAttribute(view.tag_body, "content", &content)) {
+      scratch->decoded.clear();
+      html::DecodeCharRefsInto(content.substr(0, kMaxValueBytes),
+                               &scratch->decoded);
+      sink(scratch->decoded);
+      continue;
+    }
+    if (view.self_closing || IsVoidElement(view.text)) continue;
+    capture_element = view.text;
+    depth = 1;
+    scratch->value.clear();
+  }
+  // EOF while capturing: the property is unterminated — drop it.
+}
+
+void ExtractJsonLdInto(std::string_view page_html, MicrodataScratch* scratch,
+                       FunctionRef<void(std::string_view)> sink) {
+  html::Tokenizer tok(page_html);
+  html::TokenView view;
+  bool in_ld_script = false;
+  while (tok.NextView(&view)) {
+    if (view.type == html::TokenType::kStartTag &&
+        EqualsIgnoreCase(view.text, "script")) {
+      std::string_view type;
+      in_ld_script = !view.self_closing &&
+                     html::FindTagAttribute(view.tag_body, "type", &type) &&
+                     EqualsIgnoreCase(type, "application/ld+json");
+      continue;
+    }
+    if (in_ld_script && view.type == html::TokenType::kText) {
+      // The tokenizer's raw-text mode delivers the whole block (or the
+      // remainder of the page, if the script is unterminated at EOF) as
+      // one text token.
+      ScanJsonLdBlock(view.text, scratch, sink);
+      in_ld_script = false;
+      continue;
+    }
+    if (view.type == html::TokenType::kEndTag) in_ld_script = false;
+  }
+}
+
+}  // namespace wsd

@@ -1,0 +1,50 @@
+#ifndef WSD_EXTRACT_MICRODATA_EXTRACTOR_H_
+#define WSD_EXTRACT_MICRODATA_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/function_ref.h"
+
+namespace wsd {
+
+/// Reusable buffers for the schema.org extractors. One per scan shard;
+/// capacities reach their watermark after a few pages and are reused, so
+/// steady-state extraction performs no heap allocation.
+struct MicrodataScratch {
+  std::string value;    // raw captured itemprop text / JSON string bytes
+  std::string decoded;  // decoded value handed to the sink
+};
+
+/// Streams the values of `itemprop="telephone"` microdata properties on
+/// the page, in document order. Covers the property surface the synthetic
+/// corpus and real listing pages use:
+///   - element content: `<span itemprop="telephone">…</span>`, including
+///     markup nested inside the property element (text is concatenated)
+///     and nested same-name elements (balanced-depth capture);
+///   - void/self-closing elements carrying the value in a `content`
+///     attribute: `<meta itemprop="telephone" content="…">`.
+/// Character references in the value are decoded before the sink sees it.
+/// Properties left unterminated at EOF are dropped (never emitted
+/// half-captured); oversized values are truncated at an internal cap.
+/// The emitted view points into scratch->decoded and is valid only until
+/// the next emission. Zero steady-state heap allocation given a warm
+/// *scratch.
+void ExtractMicrodataInto(std::string_view page_html,
+                          MicrodataScratch* scratch,
+                          FunctionRef<void(std::string_view)> sink);
+
+/// Streams the string values of `"telephone"` keys inside
+/// `<script type="application/ld+json">` blocks, in document order.
+/// The JSON is scanned structurally (string tokens with full escape
+/// handling, including \uXXXX), not fully parsed: malformed or truncated
+/// blocks contribute nothing after the first bad token, matching the
+/// fail-closed posture of the snapshot loader. Values containing invalid
+/// escapes or unpaired surrogates are dropped. Same scratch/view/alloc
+/// contract as ExtractMicrodataInto.
+void ExtractJsonLdInto(std::string_view page_html, MicrodataScratch* scratch,
+                       FunctionRef<void(std::string_view)> sink);
+
+}  // namespace wsd
+
+#endif  // WSD_EXTRACT_MICRODATA_EXTRACTOR_H_

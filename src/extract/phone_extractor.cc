@@ -90,13 +90,6 @@ bool ParsePhoneAt(std::string_view text, size_t i, std::string* digits,
 
 }  // namespace
 
-std::vector<PhoneMatch> ExtractPhones(std::string_view text) {
-  std::vector<PhoneMatch> matches;
-  ExtractPhonesInto(text,
-                    [&](const PhoneMatch& m) { matches.push_back(m); });
-  return matches;
-}
-
 // Chars that can start a phone candidate: digits, '(' and '+'. A table
 // keeps the (hot) skip loop to one load and one branch per character.
 constexpr std::array<bool, 256> kCandidateStart = [] {

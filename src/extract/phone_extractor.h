@@ -3,7 +3,6 @@
 
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "util/function_ref.h"
 
@@ -24,12 +23,7 @@ struct PhoneMatch {
 /// digit-boundary checks so identifiers embedded in longer digit runs are
 /// not matched.
 ///
-/// Deprecated: materializes a vector of matches per call. New call sites
-/// should use ExtractPhonesInto, which streams matches to a sink with no
-/// per-call allocation; this wrapper remains for one-shot convenience.
-std::vector<PhoneMatch> ExtractPhones(std::string_view text);
-
-/// Streaming variant: invokes `sink` once per match, in document order,
+/// Invokes `sink` once per match, in document order,
 /// with a match object that is reused across calls (copy what you need).
 /// The 10 canonical digits fit small-string capacity, so the scan kernel
 /// pays no heap allocation per match.

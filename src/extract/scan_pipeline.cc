@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "entity/url.h"
+#include "extract/attribute_registry.h"
 #include "html/text_extract.h"
 #include "text/tokenizer.h"
 #include "util/metrics.h"
@@ -64,14 +65,17 @@ const std::vector<EntityId>& ScanPage(const EntityMatcher& matcher,
                                       ScanScratch* scratch,
                                       bool* is_review) {
   *is_review = false;
-  if (attr == Attribute::kHomepage) {
+  const AttributeSpec& spec = GetAttributeSpec(attr);
+  if (spec.scan_raw_html) {
+    // Anchor hrefs and schema.org markup live in the tags themselves,
+    // which visible-text extraction strips.
     return matcher.MatchPageInto(page.html, &scratch->match);
   }
   scratch->visible_text.clear();
   html::ExtractVisibleTextInto(page.html, &scratch->visible_text);
   const std::vector<EntityId>& ids =
       matcher.MatchPageInto(scratch->visible_text, &scratch->match);
-  if (attr == Attribute::kReviews && !ids.empty()) {
+  if (spec.review_channel && !ids.empty()) {
     // Two-step methodology: phone match first, then the Naive Bayes
     // review decision over the page text. The text is tokenized exactly
     // once (in place, mutating visible_text — safe because matching is
@@ -121,6 +125,7 @@ size_t ScanScratch::MemoryFootprint() const {
          match.ids.capacity() * sizeof(EntityId) +
          match.href.decoded.capacity() +
          match.href.match.canonical.capacity() +
+         match.micro.value.capacity() + match.micro.decoded.capacity() +
          host_ids.capacity() * sizeof(EntityId);
 }
 
@@ -180,7 +185,7 @@ StatusOr<ScanResult> ScanPipeline::Run() const { return Run(ShardSpec{}); }
 
 StatusOr<ScanResult> ScanPipeline::Run(const ShardSpec& shard) const {
   const Attribute attr = web_.config().attr;
-  if (attr == Attribute::kReviews && detector_ == nullptr) {
+  if (GetAttributeSpec(attr).review_channel && detector_ == nullptr) {
     return Status::InvalidArgument(
         "review scan requires a ReviewDetector");
   }
@@ -354,7 +359,7 @@ StatusOr<ScanResult> ScanCacheFile(const std::string& path,
                                    const DomainCatalog& catalog,
                                    Attribute attr,
                                    const ReviewDetector* detector) {
-  if (attr == Attribute::kReviews && detector == nullptr) {
+  if (GetAttributeSpec(attr).review_channel && detector == nullptr) {
     return Status::InvalidArgument(
         "review scan requires a ReviewDetector");
   }

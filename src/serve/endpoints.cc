@@ -7,6 +7,7 @@
 #include "core/connectivity.h"
 #include "core/coverage.h"
 #include "core/set_cover.h"
+#include "extract/attribute_registry.h"
 #include "traffic/demand.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -68,12 +69,25 @@ std::optional<Domain> ParseDomainName(std::string_view name) {
 }
 
 std::optional<Attribute> ParseAttributeName(std::string_view name) {
-  const std::string lower = ToLower(name);
-  if (lower == "phone") return Attribute::kPhone;
-  if (lower == "homepage") return Attribute::kHomepage;
-  if (lower == "isbn") return Attribute::kIsbn;
-  if (lower == "reviews") return Attribute::kReviews;
-  return std::nullopt;
+  // Registry-driven: every registered channel is automatically part of
+  // the serve vocabulary.
+  const AttributeSpec* spec = FindAttributeByName(ToLower(name));
+  if (spec == nullptr) return std::nullopt;
+  return spec->attr;
+}
+
+// "phone|homepage|isbn|reviews|microdata"-style vocabulary for error
+// messages, generated from the registry so it can never go stale.
+const std::string& AttributeVocabulary() {
+  static const std::string vocab = [] {
+    std::string out;
+    for (const AttributeSpec& spec : AllAttributeSpecs()) {
+      if (!out.empty()) out += '|';
+      out += spec.name;
+    }
+    return out;
+  }();
+  return vocab;
 }
 
 std::optional<TrafficSite> ParseSiteName(std::string_view name) {
@@ -128,7 +142,13 @@ bool ParseDomainAttr(const HttpRequest& req, Domain* domain, Attribute* attr,
   }
   if (!a.has_value()) {
     Fail(resp, 400,
-         "missing or unknown attr parameter (phone|homepage|isbn|reviews)");
+         "missing or unknown attr parameter (" + AttributeVocabulary() + ")");
+    return false;
+  }
+  if (!AttributeApplicableTo(GetAttributeSpec(*a), *d)) {
+    Fail(resp, 400,
+         std::string(AttributeName(*a)) + " does not apply to domain " +
+             std::string(DomainName(*d)));
     return false;
   }
   *domain = *d;

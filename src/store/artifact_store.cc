@@ -30,10 +30,11 @@ std::string ArtifactKey::CanonicalString() const {
   // spelling) are the same scale, so they must address the same artifact
   // — raw bits produced duplicate artifacts and spurious cold scans.
   const uint64_t scale_bits = CanonicalScaleBits(scale);
-  // Keyed on the version Store() writes, so a layout change re-addresses
-  // the cache instead of misreading stale files.
-  std::string out =
-      "wsdsnap-v" + std::to_string(kSnapshotSchemaVersionAligned);
+  // Keyed on the version Store() writes for this attribute (per-attribute
+  // via the registry; legacy channels keep their v2-era keys), so a
+  // layout change re-addresses the cache instead of misreading stale
+  // files.
+  std::string out = "wsdsnap-v" + std::to_string(SnapshotVersionFor(attr));
   out += "|domain=";
   out += DomainName(domain);
   out += "|attr=";

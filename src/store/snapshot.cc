@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "extract/attribute_registry.h"
 #include "util/hash.h"
 #include "util/io_util.h"
 #include "util/metrics.h"
@@ -554,9 +555,10 @@ void AppendSectionAligned(uint32_t id, std::string_view payload,
   out->append(payload);
 }
 
-// The shared v2 decoder: works over any contiguous byte range, so the
+// The shared v2/v3 decoder: works over any contiguous byte range, so the
 // buffered parser and the mmap loader validate identically. No varint is
-// ever decoded on this path.
+// ever decoded on this path. The two versions share one layout; the
+// header version only gates which attribute vocabulary the file may use.
 StatusOr<ParsedSnapshot> ParseAligned(std::string_view bytes) {
   Reader reader(bytes);
   std::string_view magic;
@@ -617,6 +619,15 @@ StatusOr<ParsedSnapshot> ParseAligned(std::string_view bytes) {
   }
   if (reader.left() != 0) {
     return Status::Corruption("trailing bytes after snapshot sections");
+  }
+  // Version/vocabulary cross-check: a file claiming an old header version
+  // must not carry an attribute introduced after that version — genuine
+  // old writers could not have produced it, so it is corrupt or forged.
+  if (SnapshotVersionFor(parsed.meta->attr) > version) {
+    return Status::Corruption(
+        "snapshot meta attribute requires schema v" +
+        std::to_string(SnapshotVersionFor(parsed.meta->attr)) +
+        " but file is v" + std::to_string(version));
   }
   return parsed;
 }
@@ -723,6 +734,10 @@ class MappedFile {
 
 }  // namespace
 
+uint32_t SnapshotVersionFor(Attribute attr) {
+  return GetAttributeSpec(attr).min_snapshot_version;
+}
+
 uint64_t CanonicalScaleBits(double scale) {
   if (std::isnan(scale)) return 0x7ff8000000000000ULL;  // positive quiet NaN
   if (scale == 0.0) return 0;                           // folds -0.0 into +0.0
@@ -756,7 +771,10 @@ StatusOr<std::string> SerializeSnapshotAligned(const ScanResult& result,
 
   std::string out;
   out.append(kSnapshotMagic, kMagicLen);
-  PutU32Le(kSnapshotSchemaVersionAligned, &out);
+  // Per-attribute version: legacy channels keep writing v2 bytes
+  // (byte-identical snapshots), post-v2 channels stamp v3 so old readers
+  // reject them fail-closed.
+  PutU32Le(SnapshotVersionFor(meta.attr), &out);
   PutU32Le(3, &out);  // section count
   AppendSectionAligned(kStatsSection, EncodeStatsAligned(result.stats), &out);
   AppendSectionAligned(kMetaSection, EncodeMetaAligned(meta), &out);
@@ -776,11 +794,15 @@ StatusOr<ParsedSnapshot> ParseSnapshotFull(std::string_view bytes) {
     return Status::Corruption("snapshot header truncated");
   }
   if (version == kSnapshotSchemaVersion) return ParseV1(bytes);
-  if (version == kSnapshotSchemaVersionAligned) return ParseAligned(bytes);
+  if (version == kSnapshotSchemaVersionAligned ||
+      version == kSnapshotSchemaVersionV3) {
+    return ParseAligned(bytes);
+  }
   return Status::Corruption(
       "snapshot schema version mismatch (file v" + std::to_string(version) +
       ", loader v" + std::to_string(kSnapshotSchemaVersion) + "/v" +
-      std::to_string(kSnapshotSchemaVersionAligned) + ")");
+      std::to_string(kSnapshotSchemaVersionAligned) + "/v" +
+      std::to_string(kSnapshotSchemaVersionV3) + ")");
 }
 
 StatusOr<ScanResult> ParseSnapshot(std::string_view bytes) {
@@ -821,12 +843,15 @@ StatusOr<ParsedSnapshot> LoadSnapshotFile(const std::string& path) {
   auto mapped = MappedFile::Open(path);
   if (mapped.ok()) {
     const std::string_view bytes = mapped->view();
-    // Only the aligned format is read in place; a v1 file needs the
-    // varint decoder and gains nothing from the mapping.
-    if (bytes.size() >= kMagicLen + 4 &&
-        std::memcmp(bytes.data(), kSnapshotMagic, kMagicLen) == 0 &&
-        hash_internal::Load32Le(Bytes(bytes) + kMagicLen) ==
-            kSnapshotSchemaVersionAligned) {
+    // Only the aligned format (v2/v3) is read in place; a v1 file needs
+    // the varint decoder and gains nothing from the mapping.
+    const uint32_t mapped_version =
+        bytes.size() >= kMagicLen + 4 &&
+                std::memcmp(bytes.data(), kSnapshotMagic, kMagicLen) == 0
+            ? hash_internal::Load32Le(Bytes(bytes) + kMagicLen)
+            : 0;
+    if (mapped_version == kSnapshotSchemaVersionAligned ||
+        mapped_version == kSnapshotSchemaVersionV3) {
       auto parsed = ParseSnapshotFull(bytes);
       if (parsed.ok()) {
         mmap_loads.Increment();

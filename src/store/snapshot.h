@@ -17,12 +17,26 @@ namespace wsd {
 /// varint/delta columnar encoding; version 2 is the aligned fixed-width
 /// columnar encoding (8-byte aligned sections, zero-padded payloads) that
 /// the zero-copy mmap loader reads directly, and the only version that
-/// carries provenance (SnapshotMeta), which `wsdctl merge` requires. The
-/// loader accepts exactly these two versions and rejects every other
-/// (stale artifacts then fall back to a live scan rather than being
-/// misread).
+/// carries provenance (SnapshotMeta), which `wsdctl merge` requires.
+/// Version 3 is byte-identical to version 2 in layout; the bump exists so
+/// snapshots of post-v2 attribute channels (schema.org microdata, wire id
+/// 4) are rejected fail-closed by v1/v2-era readers instead of being
+/// decoded under an attribute vocabulary that cannot represent them. The
+/// version an aligned snapshot is written with is per-attribute (see
+/// SnapshotVersionFor), so legacy-channel snapshots remain byte-identical
+/// to the v2 era. The loader accepts exactly these three versions and
+/// rejects every other (stale artifacts then fall back to a live scan
+/// rather than being misread).
 inline constexpr uint32_t kSnapshotSchemaVersion = 1;
 inline constexpr uint32_t kSnapshotSchemaVersionAligned = 2;
+inline constexpr uint32_t kSnapshotSchemaVersionV3 = 3;
+
+/// The aligned schema version snapshots of `attr` are written with:
+/// AttributeSpec::min_snapshot_version from the attribute registry (2 for
+/// the four legacy channels, 3 for microdata). A parsed file whose header
+/// version is below this for its meta attribute is Corruption — a genuine
+/// old writer could not have produced it.
+[[nodiscard]] uint32_t SnapshotVersionFor(Attribute attr);
 
 /// Serialized size cannot be known without encoding, but every snapshot
 /// starts with this magic — cheap foreign-file rejection before any
@@ -83,9 +97,10 @@ struct ParsedSnapshot {
 [[nodiscard]] StatusOr<std::string> SerializeSnapshot(
     const ScanResult& result);
 
-/// Encodes `result` + `meta` into the aligned (v2) snapshot format:
+/// Encodes `result` + `meta` into the aligned (v2/v3) snapshot format:
 ///
-///   magic "WSDSNAP1" | version u32 = 2 | section count u32 = 3
+///   magic "WSDSNAP1" | version u32 = SnapshotVersionFor(meta.attr) |
+///   section count u32 = 3
 ///   per section: id u32 | flags u32 (must be 0) | padded payload length
 ///   u64 | XXH64 checksum u64 | payload zero-padded to a multiple of 8
 ///

@@ -100,8 +100,9 @@ TEST(CatalogTest, LookupsSurviveMove) {
 }
 
 TEST(DomainsTest, Table1Attributes) {
-  EXPECT_EQ(StudiedAttributes(Domain::kBooks),
-            std::vector<Attribute>{Attribute::kIsbn});
+  const auto book_attrs = StudiedAttributes(Domain::kBooks);
+  ASSERT_EQ(book_attrs.size(), 1u);
+  EXPECT_EQ(book_attrs[0], Attribute::kIsbn);
   const auto restaurant_attrs = StudiedAttributes(Domain::kRestaurants);
   ASSERT_EQ(restaurant_attrs.size(), 3u);
   EXPECT_EQ(restaurant_attrs[2], Attribute::kReviews);

@@ -13,6 +13,13 @@
 namespace wsd {
 namespace {
 
+// Test-local wrapper over the scratch-based matcher entry point.
+std::vector<EntityId> MatchPage(const EntityMatcher& matcher,
+                                std::string_view content) {
+  MatchScratch scratch;
+  return matcher.MatchPageInto(content, &scratch);
+}
+
 SyntheticWeb MakeWeb(Attribute attr, uint32_t entities = 400,
                      uint32_t sites = 300, uint64_t seed = 7) {
   SyntheticWeb::Config config;
@@ -47,7 +54,7 @@ TEST(PageGenTest, PagesCarryExtractableIdentifiers) {
   std::set<EntityId> extracted;
   web.GeneratePages(0, [&](const Page& page, const PageTruth&) {
     for (EntityId id :
-         matcher.MatchPage(html::ExtractVisibleText(page.html))) {
+         MatchPage(matcher, html::ExtractVisibleText(page.html))) {
       extracted.insert(id);
     }
   });
@@ -63,7 +70,7 @@ TEST(PageGenTest, HomepagePagesCarryAnchors) {
     expected.insert(m->entity);
   }
   web.GeneratePages(0, [&](const Page& page, const PageTruth&) {
-    for (EntityId id : matcher.MatchPage(page.html)) extracted.insert(id);
+    for (EntityId id : MatchPage(matcher, page.html)) extracted.insert(id);
   });
   EXPECT_EQ(extracted, expected);
 }

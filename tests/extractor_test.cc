@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "entity/catalog.h"
 #include "extract/href_extractor.h"
 #include "extract/matcher.h"
@@ -8,6 +10,28 @@
 
 namespace wsd {
 namespace {
+
+// Test-local collectors over the streaming extractor API (the library
+// only exposes sink-style *Into entry points).
+std::vector<PhoneMatch> ExtractPhones(std::string_view text) {
+  std::vector<PhoneMatch> out;
+  ExtractPhonesInto(text, [&](const PhoneMatch& m) { out.push_back(m); });
+  return out;
+}
+
+std::vector<HrefMatch> ExtractHrefs(std::string_view page_html) {
+  HrefScratch scratch;
+  std::vector<HrefMatch> out;
+  ExtractHrefsInto(page_html, &scratch,
+                   [&](const HrefMatch& m) { out.push_back(m); });
+  return out;
+}
+
+std::vector<EntityId> MatchPage(const EntityMatcher& matcher,
+                                std::string_view content) {
+  MatchScratch scratch;
+  return matcher.MatchPageInto(content, &scratch);
+}
 
 // ---------- phone extractor edge cases ----------
 
@@ -127,7 +151,7 @@ TEST_F(MatcherTest, MatchesOnlyCatalogPhones) {
                            " or 212-555-9999 today";
   // 212-555-9999 is a valid NANP number but (w.h.p.) not in a 100-entity
   // catalog.
-  auto ids = matcher.MatchPage(text);
+  auto ids = MatchPage(matcher, text);
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(ids[0], e.id);
 }
@@ -137,7 +161,7 @@ TEST_F(MatcherTest, DeduplicatesWithinPage) {
   EntityMatcher matcher(*catalog_, Attribute::kPhone);
   const std::string text = e.phone.Format(PhoneFormat::kDashed) + " and " +
                            e.phone.Format(PhoneFormat::kBare);
-  EXPECT_EQ(matcher.MatchPage(text).size(), 1u);
+  EXPECT_EQ(MatchPage(matcher, text).size(), 1u);
 }
 
 TEST_F(MatcherTest, MatchesHomepagesFromHtml) {
@@ -146,7 +170,7 @@ TEST_F(MatcherTest, MatchesHomepagesFromHtml) {
   const std::string html = "<a href=\"http://www." + e.homepage_host +
                            "/\">site</a>"
                            "<a href=\"http://unrelated.example/\">x</a>";
-  auto ids = matcher.MatchPage(html);
+  auto ids = MatchPage(matcher, html);
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(ids[0], e.id);
 }
@@ -157,7 +181,7 @@ TEST_F(MatcherTest, ResultsAreSorted) {
   for (EntityId id : {50u, 3u, 20u}) {
     text += catalog_->entity(id).phone.Format(PhoneFormat::kDashed) + " ";
   }
-  auto ids = matcher.MatchPage(text);
+  auto ids = MatchPage(matcher, text);
   ASSERT_EQ(ids.size(), 3u);
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
 }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "corpus/web_cache.h"
 #include "entity/phone.h"
 #include "entity/url.h"
@@ -17,6 +19,28 @@
 
 namespace wsd {
 namespace {
+
+// Test-local collectors over the streaming extractor API (the library
+// only exposes sink-style *Into entry points).
+std::vector<PhoneMatch> ExtractPhones(std::string_view text) {
+  std::vector<PhoneMatch> out;
+  ExtractPhonesInto(text, [&](const PhoneMatch& m) { out.push_back(m); });
+  return out;
+}
+
+std::vector<IsbnMatch> ExtractIsbns(std::string_view text) {
+  std::vector<IsbnMatch> out;
+  ExtractIsbnsInto(text, [&](const IsbnMatch& m) { out.push_back(m); });
+  return out;
+}
+
+std::vector<HrefMatch> ExtractHrefs(std::string_view page_html) {
+  HrefScratch scratch;
+  std::vector<HrefMatch> out;
+  ExtractHrefsInto(page_html, &scratch,
+                   [&](const HrefMatch& m) { out.push_back(m); });
+  return out;
+}
 
 // Random byte mutations over a real rendered page.
 class MutatedPageTest : public ::testing::TestWithParam<uint64_t> {

@@ -62,8 +62,11 @@ TEST(GoldenRegressionTest, PhoneScanFingerprint) {
 
 TEST(GoldenRegressionTest, CoverageCurveIsBitStable) {
   Study a(GoldenOptions()), b(GoldenOptions());
-  auto sa = a.RunSpread(Domain::kBanks, Attribute::kPhone);
-  auto sb = b.RunSpread(Domain::kBanks, Attribute::kPhone);
+  auto ha = a.Scan(Domain::kBanks, Attribute::kPhone);
+  auto hb = b.Scan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(ha.ok() && hb.ok());
+  auto sa = a.RunSpread(*ha);
+  auto sb = b.RunSpread(*hb);
   ASSERT_TRUE(sa.ok() && sb.ok());
   ASSERT_EQ(sa->curve.t_values, sb->curve.t_values);
   for (size_t k = 0; k < sa->curve.k_coverage.size(); ++k) {
@@ -76,8 +79,11 @@ TEST(GoldenRegressionTest, CoverageCurveIsBitStable) {
 
 TEST(GoldenRegressionTest, GraphMetricsBitStable) {
   Study a(GoldenOptions()), b(GoldenOptions());
-  auto ra = a.RunGraphMetrics(Domain::kBooks, Attribute::kIsbn);
-  auto rb = b.RunGraphMetrics(Domain::kBooks, Attribute::kIsbn);
+  auto ha = a.Scan(Domain::kBooks, Attribute::kIsbn);
+  auto hb = b.Scan(Domain::kBooks, Attribute::kIsbn);
+  ASSERT_TRUE(ha.ok() && hb.ok());
+  auto ra = a.RunGraphMetrics(*ha);
+  auto rb = b.RunGraphMetrics(*hb);
   ASSERT_TRUE(ra.ok() && rb.ok());
   EXPECT_EQ(ra->num_edges, rb->num_edges);
   EXPECT_EQ(ra->diameter, rb->diameter);

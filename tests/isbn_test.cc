@@ -3,12 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "extract/isbn_extractor.h"
 #include "util/rng.h"
 
 namespace wsd {
 namespace {
+
+// Test-local collector over the streaming extractor (the library only
+// exposes the sink-style entry point).
+std::vector<IsbnMatch> ExtractIsbns(std::string_view text) {
+  std::vector<IsbnMatch> out;
+  ExtractIsbnsInto(text, [&](const IsbnMatch& m) { out.push_back(m); });
+  return out;
+}
 
 TEST(IsbnTest, KnownCheckDigits) {
   // Well-known reference ISBNs.

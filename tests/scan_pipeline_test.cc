@@ -414,7 +414,66 @@ TEST_P(SteadyStateAllocationTest, RescanAllocatesNothing) {
 INSTANTIATE_TEST_SUITE_P(IdentifierAttributes, SteadyStateAllocationTest,
                          ::testing::Values(Attribute::kPhone,
                                            Attribute::kHomepage,
-                                           Attribute::kIsbn));
+                                           Attribute::kIsbn,
+                                           Attribute::kMicrodata));
+
+// The frozen legacy oracle predates the microdata channel and refuses
+// it, so cross-tier equivalence for microdata uses the scalar kernel as
+// the oracle instead: every SIMD tier and thread count must reproduce
+// the scalar result bit for bit.
+TEST(MicrodataScanTest, CrossTierEquivalenceAgainstScalar) {
+  const SyntheticWeb web = MakeWeb(Attribute::kMicrodata, 300, 200);
+  const auto scalar = [&] {
+    const simd::ScopedTierOverride pinned(simd::Tier::kScalar);
+    ThreadPool pool(1);
+    return ScanPipeline(web, pool).Run();
+  }();
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  ASSERT_GT(scalar->stats.entity_mentions, 0u);
+  for (const simd::Tier tier : simd::AvailableTiers()) {
+    const simd::ScopedTierOverride pinned(tier);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      auto result = ScanPipeline(web, pool).Run();
+      ASSERT_TRUE(result.ok());
+      SCOPED_TRACE(::testing::Message() << "tier=" << simd::TierName(tier)
+                                        << " threads=" << threads);
+      ExpectIdenticalResults(*result, *scalar);
+    }
+  }
+}
+
+TEST(MicrodataScanTest, RecoversExactlyTheAnnotatedSubset) {
+  // Microdata ground truth is adoption-filtered: a site contributes its
+  // mentions iff it adopted schema.org markup (annotation bits != 0).
+  // The scan must recover that subset exactly — nothing from
+  // non-adopting sites, everything from adopting ones.
+  const SyntheticWeb web = MakeWeb(Attribute::kMicrodata, 500, 300);
+  uint32_t adopters = 0, holdouts = 0;
+  std::map<std::string, std::set<EntityId>> truth;
+  for (SiteId s = 0; s < web.num_hosts(); ++s) {
+    if (web.generator().SiteAnnotation(s) == 0) {
+      if (web.model().site_begin(s) != web.model().site_end(s)) ++holdouts;
+      continue;
+    }
+    ++adopters;
+    auto& entities = truth[web.host(s)];
+    for (const SiteMention* m = web.model().site_begin(s);
+         m != web.model().site_end(s); ++m) {
+      entities.insert(m->entity);
+    }
+    if (entities.empty()) truth.erase(web.host(s));
+  }
+  // The adoption model must produce a genuinely mixed web at this size.
+  ASSERT_GT(adopters, 0u);
+  ASSERT_GT(holdouts, 0u);
+
+  ThreadPool pool(2);
+  auto result = ScanPipeline(web, pool).Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Scanned(result->table), truth);
+}
+
 
 TEST(ModelToHostTableTest, GroundTruthFastPathMatchesFullPipeline) {
   // The documented contract: for identifier attributes, analysis on the

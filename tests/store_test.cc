@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -304,6 +305,114 @@ TEST(SnapshotAlignedTest, MmapLoadMatchesBufferedParseAndCounts) {
   fs::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------
+// v3 snapshots: same layout as v2, but the header version is stamped
+// per attribute (SnapshotVersionFor), so post-v2 channels are rejected
+// fail-closed by v2-era readers and legacy snapshot bytes never change.
+
+uint32_t HeaderVersion(const std::string& bytes) {
+  uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + sizeof(kSnapshotMagic), 4);
+  return v;
+}
+
+TEST(SnapshotV3Test, VersionIsStampedPerAttribute) {
+  EXPECT_EQ(SnapshotVersionFor(Attribute::kPhone), 2u);
+  EXPECT_EQ(SnapshotVersionFor(Attribute::kHomepage), 2u);
+  EXPECT_EQ(SnapshotVersionFor(Attribute::kIsbn), 2u);
+  EXPECT_EQ(SnapshotVersionFor(Attribute::kReviews), 2u);
+  EXPECT_EQ(SnapshotVersionFor(Attribute::kMicrodata),
+            kSnapshotSchemaVersionV3);
+
+  auto legacy = SerializeSnapshotAligned(MakeResult(), MakeMeta());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(HeaderVersion(*legacy), kSnapshotSchemaVersionAligned);
+
+  SnapshotMeta meta = MakeMeta();
+  meta.domain = Domain::kRestaurants;
+  meta.attr = Attribute::kMicrodata;
+  auto v3 = SerializeSnapshotAligned(MakeResult(), meta);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(HeaderVersion(*v3), kSnapshotSchemaVersionV3);
+}
+
+TEST(SnapshotV3Test, MicrodataSnapshotRoundTripsEverywhere) {
+  const ScanResult original = MakeResult();
+  SnapshotMeta meta = MakeMeta();
+  meta.domain = Domain::kRestaurants;
+  meta.attr = Attribute::kMicrodata;
+  auto bytes = SerializeSnapshotAligned(original, meta);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseSnapshotFull(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSameResult(original, parsed->result);
+  ASSERT_TRUE(parsed->meta.has_value());
+  EXPECT_TRUE(*parsed->meta == meta);
+
+  // The mmap path accepts v3 without a buffered fallback.
+  const std::string dir = FreshDir("v3_mmap");
+  ASSERT_TRUE(fs::create_directories(dir));
+  const std::string path = dir + "/snap.wsdsnap";
+  ASSERT_TRUE(WriteSnapshotFileAligned(path, original, meta).ok());
+  const uint64_t mmaps0 = CounterValue("wsd.store.mmap_loads");
+  const uint64_t falls0 = CounterValue("wsd.store.mmap_fallbacks");
+  auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(CounterValue("wsd.store.mmap_loads"), mmaps0 + 1);
+  EXPECT_EQ(CounterValue("wsd.store.mmap_fallbacks"), falls0);
+  ExpectSameResult(original, loaded->result);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotV3Test, ForgedV2FileWithMicrodataAttrIsRejected) {
+  // The header version word is outside the section checksums, so a
+  // forged/buggy writer could stamp v2 on a file carrying an attribute
+  // no v2 writer knew. The vocabulary cross-check refuses it.
+  SnapshotMeta meta = MakeMeta();
+  meta.domain = Domain::kRestaurants;
+  meta.attr = Attribute::kMicrodata;
+  auto bytes = SerializeSnapshotAligned(MakeResult(), meta);
+  ASSERT_TRUE(bytes.ok());
+  std::string forged = *bytes;
+  const uint32_t v2 = kSnapshotSchemaVersionAligned;
+  std::memcpy(forged.data() + sizeof(kSnapshotMagic), &v2, 4);
+  auto parsed = ParseSnapshotFull(forged);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption()) << parsed.status();
+  EXPECT_NE(parsed.status().message().find("requires schema v3"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SnapshotV3Test, UnknownFutureVersionIsRejected) {
+  auto bytes = SerializeSnapshotAligned(MakeResult(), MakeMeta());
+  ASSERT_TRUE(bytes.ok());
+  std::string future = *bytes;
+  const uint32_t v4 = 4;
+  std::memcpy(future.data() + sizeof(kSnapshotMagic), &v4, 4);
+  EXPECT_TRUE(ParseSnapshotFull(future).status().IsCorruption());
+  EXPECT_TRUE(ParseSnapshot(future).status().IsCorruption());
+}
+
+TEST(SnapshotV3Test, EveryTruncationAndByteFlipFailsClosed) {
+  SnapshotMeta meta = MakeMeta();
+  meta.domain = Domain::kRestaurants;
+  meta.attr = Attribute::kMicrodata;
+  auto bytes = SerializeSnapshotAligned(MakeResult(), meta);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    EXPECT_FALSE(
+        ParseSnapshotFull(std::string_view(bytes->data(), len)).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    std::string corrupt = *bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    EXPECT_FALSE(ParseSnapshotFull(corrupt).ok())
+        << "flip at byte " << i << " parsed";
+  }
+}
+
 TEST(SnapshotAlignedTest, CanonicalScaleBitsCollapsesAliases) {
   EXPECT_EQ(CanonicalScaleBits(0.0), CanonicalScaleBits(-0.0));
   const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
@@ -477,22 +586,26 @@ TEST(StudyArtifactTest, ScanOnceAnalyzeMany) {
   const uint64_t runs0 = CounterValue("wsd.scan.runs");
   const uint64_t hits0 = CounterValue("wsd.artifact.hits");
   Study cold(options);
-  auto spread = cold.RunSpread(Domain::kBanks, Attribute::kPhone);
+  auto cold_scan = cold.Scan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(cold_scan.ok()) << cold_scan.status();
+  auto spread = cold.RunSpread(*cold_scan);
   ASSERT_TRUE(spread.ok()) << spread.status();
-  auto cover = cold.RunSetCover(Domain::kBanks, Attribute::kPhone);
+  auto cover = cold.RunSetCover(*cold_scan);
   ASSERT_TRUE(cover.ok()) << cover.status();
-  auto row = cold.RunGraphMetrics(Domain::kBanks, Attribute::kPhone);
+  auto row = cold.RunGraphMetrics(*cold_scan);
   ASSERT_TRUE(row.ok()) << row.status();
-  auto sweep = cold.RunRobustness(Domain::kBanks, Attribute::kPhone);
+  auto sweep = cold.RunRobustness(*cold_scan);
   ASSERT_TRUE(sweep.ok()) << sweep.status();
   EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1)
       << "four analyses must share one scan";
 
   // Warm Study: the snapshot satisfies the scan, so zero live scans.
   Study warm(options);
-  auto warm_spread = warm.RunSpread(Domain::kBanks, Attribute::kPhone);
+  auto warm_scan = warm.Scan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(warm_scan.ok()) << warm_scan.status();
+  auto warm_spread = warm.RunSpread(*warm_scan);
   ASSERT_TRUE(warm_spread.ok()) << warm_spread.status();
-  auto warm_sweep = warm.RunRobustness(Domain::kBanks, Attribute::kPhone);
+  auto warm_sweep = warm.RunRobustness(*warm_scan);
   ASSERT_TRUE(warm_sweep.ok()) << warm_sweep.status();
   EXPECT_EQ(CounterValue("wsd.scan.runs"), runs0 + 1);
   EXPECT_GT(CounterValue("wsd.artifact.hits"), hits0);
@@ -574,44 +687,48 @@ TEST(StudyArtifactTest, CorruptArtifactFallsBackToLiveScan) {
   fs::remove_all(dir);
 }
 
-// The ScanHandle overloads must agree with the (domain, attr) overloads.
-TEST(StudyArtifactTest, HandleOverloadsMatchClassicApi) {
-  Study study(SmallOptions());
-  auto handle = study.Scan(Domain::kBanks, Attribute::kPhone);
-  ASSERT_TRUE(handle.ok()) << handle.status();
-  EXPECT_EQ(handle->domain(), Domain::kBanks);
-  EXPECT_EQ(handle->attr(), Attribute::kPhone);
+// Analyses through a ScanHandle are deterministic: two independent
+// Studies over the same options agree on every handle-path analysis.
+TEST(StudyArtifactTest, HandleAnalysesAreDeterministic) {
+  Study s1(SmallOptions());
+  Study s2(SmallOptions());
+  auto h1 = s1.Scan(Domain::kBanks, Attribute::kPhone);
+  auto h2 = s2.Scan(Domain::kBanks, Attribute::kPhone);
+  ASSERT_TRUE(h1.ok()) << h1.status();
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  EXPECT_EQ(h1->domain(), Domain::kBanks);
+  EXPECT_EQ(h1->attr(), Attribute::kPhone);
 
-  auto via_handle = study.RunSpread(*handle);
-  auto classic = study.RunSpread(Domain::kBanks, Attribute::kPhone);
-  ASSERT_TRUE(via_handle.ok());
-  ASSERT_TRUE(classic.ok());
-  for (size_t k = 0; k < classic->curve.k_coverage.size(); ++k) {
-    ASSERT_EQ(classic->curve.k_coverage[k], via_handle->curve.k_coverage[k]);
+  auto spread1 = s1.RunSpread(*h1);
+  auto spread2 = s2.RunSpread(*h2);
+  ASSERT_TRUE(spread1.ok());
+  ASSERT_TRUE(spread2.ok());
+  for (size_t k = 0; k < spread1->curve.k_coverage.size(); ++k) {
+    ASSERT_EQ(spread1->curve.k_coverage[k], spread2->curve.k_coverage[k]);
   }
 
-  auto row_h = study.RunGraphMetrics(*handle);
-  auto row_c = study.RunGraphMetrics(Domain::kBanks, Attribute::kPhone);
-  ASSERT_TRUE(row_h.ok());
-  ASSERT_TRUE(row_c.ok());
-  EXPECT_EQ(row_h->num_components, row_c->num_components);
-  EXPECT_EQ(row_h->diameter, row_c->diameter);
-  EXPECT_EQ(row_h->num_edges, row_c->num_edges);
+  auto row1 = s1.RunGraphMetrics(*h1);
+  auto row2 = s2.RunGraphMetrics(*h2);
+  ASSERT_TRUE(row1.ok());
+  ASSERT_TRUE(row2.ok());
+  EXPECT_EQ(row1->num_components, row2->num_components);
+  EXPECT_EQ(row1->diameter, row2->diameter);
+  EXPECT_EQ(row1->num_edges, row2->num_edges);
 
-  auto sweep_h = study.RunRobustness(*handle);
-  auto sweep_c = study.RunRobustness(Domain::kBanks, Attribute::kPhone);
-  ASSERT_TRUE(sweep_h.ok());
-  ASSERT_TRUE(sweep_c.ok());
-  ASSERT_EQ(sweep_h->size(), sweep_c->size());
-  for (size_t i = 0; i < sweep_c->size(); ++i) {
-    EXPECT_EQ((*sweep_h)[i].num_components, (*sweep_c)[i].num_components);
+  auto sweep1 = s1.RunRobustness(*h1);
+  auto sweep2 = s2.RunRobustness(*h2);
+  ASSERT_TRUE(sweep1.ok());
+  ASSERT_TRUE(sweep2.ok());
+  ASSERT_EQ(sweep1->size(), sweep2->size());
+  for (size_t i = 0; i < sweep1->size(); ++i) {
+    EXPECT_EQ((*sweep1)[i].num_components, (*sweep2)[i].num_components);
   }
 
-  auto cover_h = study.RunSetCover(*handle);
-  auto cover_c = study.RunSetCover(Domain::kBanks, Attribute::kPhone);
-  ASSERT_TRUE(cover_h.ok());
-  ASSERT_TRUE(cover_c.ok());
-  EXPECT_EQ(cover_h->greedy_coverage, cover_c->greedy_coverage);
+  auto cover1 = s1.RunSetCover(*h1);
+  auto cover2 = s2.RunSetCover(*h2);
+  ASSERT_TRUE(cover1.ok());
+  ASSERT_TRUE(cover2.ok());
+  EXPECT_EQ(cover1->greedy_coverage, cover2->greedy_coverage);
 }
 
 }  // namespace

@@ -40,7 +40,9 @@ TEST(StudyOptionsTest, ScaledEntitiesFloorsAt64) {
 }
 
 TEST_F(StudySmall, SpreadCurveHasPaperShapeProperties) {
-  auto spread = study_.RunSpread(Domain::kRestaurants, Attribute::kPhone);
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kPhone);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  auto spread = study_.RunSpread(*scan);
   ASSERT_TRUE(spread.ok()) << spread.status();
   const CoverageCurve& curve = spread->curve;
   ASSERT_EQ(curve.k_coverage.size(), 10u);
@@ -79,7 +81,9 @@ TEST_F(StudySmall, ScanIsDeterministicAcrossRuns) {
 }
 
 TEST_F(StudySmall, ReviewSpreadProducesBothCurves) {
-  auto result = study_.RunReviewSpread();
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kReviews);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  auto result = study_.RunReviewSpread(*scan);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_GT(result->stats.review_pages, 0u);
   EXPECT_GT(result->page_curve.total_pages, 0u);
@@ -95,7 +99,9 @@ TEST_F(StudySmall, ReviewSpreadProducesBothCurves) {
 }
 
 TEST_F(StudySmall, SetCoverBeatsOrEqualsSizeOrdering) {
-  auto curve = study_.RunSetCover(Domain::kRestaurants, Attribute::kPhone);
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kPhone);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  auto curve = study_.RunSetCover(*scan);
   ASSERT_TRUE(curve.ok());
   for (size_t i = 0; i < curve->t_values.size(); ++i) {
     EXPECT_GE(curve->greedy_coverage[i] + 1e-12, curve->size_coverage[i]);
@@ -103,7 +109,9 @@ TEST_F(StudySmall, SetCoverBeatsOrEqualsSizeOrdering) {
 }
 
 TEST_F(StudySmall, GraphMetricsMatchTable2Shape) {
-  auto row = study_.RunGraphMetrics(Domain::kRestaurants, Attribute::kPhone);
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kPhone);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  auto row = study_.RunGraphMetrics(*scan);
   ASSERT_TRUE(row.ok()) << row.status();
   // Avg sites/entity tracks the Table 2 target (32) loosely.
   EXPECT_NEAR(row->avg_sites_per_entity, 32.0, 8.0);
@@ -115,8 +123,9 @@ TEST_F(StudySmall, GraphMetricsMatchTable2Shape) {
 }
 
 TEST_F(StudySmall, RobustnessSweepShape) {
-  auto sweep = study_.RunRobustness(Domain::kRestaurants, Attribute::kPhone,
-                                    10);
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kPhone);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  auto sweep = study_.RunRobustness(*scan, 10);
   ASSERT_TRUE(sweep.ok());
   ASSERT_EQ(sweep->size(), 11u);
   // Monotone non-increasing, never catastrophic (paper Fig 9).
@@ -125,6 +134,46 @@ TEST_F(StudySmall, RobustnessSweepShape) {
               (*sweep)[k - 1].largest_component_entity_fraction + 1e-12);
   }
   EXPECT_GT(sweep->back().largest_component_entity_fraction, 0.90);
+}
+
+TEST_F(StudySmall, MicrodataSpreadHasAdoptionFilteredShape) {
+  auto scan = study_.Scan(Domain::kRestaurants, Attribute::kMicrodata);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_GT(scan->stats().entity_mentions, 0u);
+  auto spread = study_.RunSpread(*scan);
+  ASSERT_TRUE(spread.ok()) << spread.status();
+  const CoverageCurve& curve = spread->curve;
+  for (uint32_t k = 0; k < curve.k_coverage.size(); ++k) {
+    for (size_t i = 1; i < curve.t_values.size(); ++i) {
+      ASSERT_GE(curve.k_coverage[k][i] + 1e-12, curve.k_coverage[k][i - 1]);
+    }
+  }
+  // Adoption skews to head sites, so microdata coverage at full t stays
+  // below the near-universal phone channel: tail holdouts leave entities
+  // that only tail sites mention uncovered.
+  auto phone = study_.Scan(Domain::kRestaurants, Attribute::kPhone);
+  ASSERT_TRUE(phone.ok());
+  auto phone_spread = study_.RunSpread(*phone);
+  ASSERT_TRUE(phone_spread.ok());
+  EXPECT_LT(curve.k_coverage[0].back() + 1e-12,
+            phone_spread->curve.k_coverage[0].back() + 1e-9);
+  EXPECT_LE(curve.k_coverage[0].back(), 1.0 + 1e-12);
+}
+
+TEST_F(StudySmall, MicrodataDoesNotApplyToBooks) {
+  auto scan = study_.Scan(Domain::kBooks, Attribute::kMicrodata);
+  EXPECT_TRUE(scan.status().IsInvalidArgument()) << scan.status();
+}
+
+TEST(StudyLegacyTest, LegacyScanRefusesMicrodata) {
+  StudyOptions options = SmallOptions();
+  options.legacy_scan = true;
+  Study study(options);
+  auto scan = study.Scan(Domain::kRestaurants, Attribute::kMicrodata);
+  EXPECT_TRUE(scan.status().IsInvalidArgument()) << scan.status();
+  // Legacy attributes still work through the frozen oracle.
+  auto phone = study.Scan(Domain::kRestaurants, Attribute::kPhone);
+  EXPECT_TRUE(phone.ok()) << phone.status();
 }
 
 TEST_F(StudySmall, ValueStudyAnchors) {
@@ -195,8 +244,9 @@ TEST(StudyScaleTest, CoverageShapeIsScaleStable) {
 
   auto curve_at = [](StudyOptions options, uint32_t t_index) {
     Study study(options);
-    auto spread =
-        study.RunSpread(Domain::kRestaurants, Attribute::kPhone);
+    auto scan = study.Scan(Domain::kRestaurants, Attribute::kPhone);
+    EXPECT_TRUE(scan.ok());
+    auto spread = study.RunSpread(*scan);
     EXPECT_TRUE(spread.ok());
     return spread->curve.k_coverage[0][t_index];
   };

@@ -37,6 +37,13 @@ Rules (ids in brackets, each documented in docs/STATIC_ANALYSIS.md):
                         through the dispatch layer (src/util/simd.h), which
                         keeps per-TU target attributes — and the scalar
                         fallback guarantees — in one place.
+  [attr-switch]         A `switch` over an attribute value or a
+                        `case Attribute::` label outside the attribute
+                        registry TU (src/extract/attribute_registry.cc).
+                        Per-attribute behavior lives in AttributeSpec
+                        descriptors/hooks; enum dispatch anywhere else
+                        re-creates the scattered switch sites the
+                        registry replaced.
   [raw-concurrency]     A raw standard-library synchronization primitive
                         (std::mutex family, lock_guard/unique_lock/
                         scoped_lock/shared_lock, condition_variable,
@@ -379,6 +386,46 @@ def check_simd_confinement(root: str, findings):
 
 
 # --------------------------------------------------------------------------
+# Rule: attr-switch
+# --------------------------------------------------------------------------
+
+# Everywhere C++ lives; a new switch-on-attr in a bench, test, or tool is
+# just as much a registry bypass as one in src/.
+ATTR_SWITCH_DIRS = ("src", "tools", "bench", "examples", "tests", "fuzz")
+# The registry TU is the single place allowed to dispatch on the enum.
+ATTR_SWITCH_ALLOWED_RE = re.compile(
+    r"^src/extract/attribute_registry\.(h|cc)$")
+ATTR_CASE_RE = re.compile(r"\bcase\s+(?:wsd::)?Attribute::")
+ATTR_SWITCH_HEAD_RE = re.compile(r"\bswitch\s*\(")
+# Condition mentions an attribute: a variable/member named attr* (attr,
+# attr_, meta.attr, spec.attr) or the Attribute type itself (casts).
+ATTR_COND_RE = re.compile(r"\battr\w*\b|\bAttribute\b")
+
+
+def check_attr_switch(root: str, findings):
+    for rel in iter_files(root, ATTR_SWITCH_DIRS, (".h", ".cc", ".cpp")):
+        if ATTR_SWITCH_ALLOWED_RE.match(rel.replace(os.sep, "/")):
+            continue
+        text = strip_code(read(root, rel))
+        for m in ATTR_CASE_RE.finditer(text):
+            findings.append(Finding(
+                rel, line_of(text, m.start()), "attr-switch",
+                "`case Attribute::` outside the registry TU — per-attribute "
+                "behavior belongs in an AttributeSpec descriptor/hook "
+                "(src/extract/attribute_registry.cc)"))
+        for m in ATTR_SWITCH_HEAD_RE.finditer(text):
+            close = match_paren(text, m.end() - 1)
+            if close == -1:
+                continue
+            if ATTR_COND_RE.search(text[m.end():close]):
+                findings.append(Finding(
+                    rel, line_of(text, m.start()), "attr-switch",
+                    "`switch` over an attribute outside the registry TU — "
+                    "add a field or hook to AttributeSpec instead "
+                    "(src/extract/attribute_registry.cc)"))
+
+
+# --------------------------------------------------------------------------
 # Rules: raw-concurrency, guarded-field
 # --------------------------------------------------------------------------
 
@@ -628,6 +675,7 @@ def run_lint(root: str, update_frozen: bool = False):
     check_token_bans(root, findings)
     check_headers(root, findings)
     check_simd_confinement(root, findings)
+    check_attr_switch(root, findings)
     check_raw_concurrency(root, findings)
     check_guarded_fields(root, findings)
     check_frozen(root, findings, update_frozen)
@@ -709,6 +757,21 @@ class Tally {
 // WSD_FROZEN_BEGIN(self_test_region)
 int tampered = 1;
 // WSD_FROZEN_END(self_test_region)
+"""),
+    "attr-switch": ("src/core/bad_attr_switch.cc", """
+#include "core/domains.h"
+namespace wsd {
+int MentionWeight(Attribute attr) {
+  // Allowed elsewhere: a plain comparison (no dispatch table implied).
+  if (attr == Attribute::kIsbn) return 2;
+  switch (attr) {
+    case Attribute::kPhone:
+      return 3;
+    default:
+      return 1;
+  }
+}
+}  // namespace wsd
 """),
     "simd-confinement": ("src/html/bad_simd.cc", """
 #include <immintrin.h>

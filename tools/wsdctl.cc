@@ -16,7 +16,9 @@
 //   merge                 recombine per-shard snapshots into one
 //   metrics               run a command (or a scan), dump the metrics registry
 //
-// Common flags: --domain=<name> --attr=<phone|homepage|isbn|reviews>
+// Common flags: --domain=<name> --attr=<name> (the attribute vocabulary
+//               comes from the attribute registry: phone homepage isbn
+//               reviews microdata)
 //               --entities=N --seed=N --scale=F --out=<file.tsv>
 //               --artifacts=<dir> --metrics_out=<file.json>
 // Every command prints a human table to stdout; --out additionally dumps
@@ -37,6 +39,7 @@
 #include "core/report.h"
 #include "core/coverage.h"
 #include "core/study.h"
+#include "extract/attribute_registry.h"
 #include "store/merge.h"
 #include "store/snapshot.h"
 #include "util/flags.h"
@@ -69,12 +72,21 @@ std::optional<Domain> ParseDomain(std::string_view name) {
 }
 
 std::optional<Attribute> ParseAttribute(std::string_view name) {
-  const std::string lower = ToLower(name);
-  if (lower == "phone") return Attribute::kPhone;
-  if (lower == "homepage") return Attribute::kHomepage;
-  if (lower == "isbn") return Attribute::kIsbn;
-  if (lower == "reviews") return Attribute::kReviews;
-  return std::nullopt;
+  // Registry-driven: a newly registered channel is automatically part of
+  // the CLI vocabulary.
+  const AttributeSpec* spec = FindAttributeByName(ToLower(name));
+  if (spec == nullptr) return std::nullopt;
+  return spec->attr;
+}
+
+// The --attr vocabulary for help/error text, from the registry.
+std::string AttributeVocabulary() {
+  std::string out;
+  for (const AttributeSpec& spec : AllAttributeSpecs()) {
+    if (!out.empty()) out += ' ';
+    out += spec.name;
+  }
+  return out;
 }
 
 std::optional<TrafficSite> ParseSite(std::string_view name) {
@@ -154,7 +166,12 @@ int CmdSpread(const Args& args) {
     return 2;
   }
   Study study(OptionsFrom(args));
-  auto spread = study.RunSpread(*domain, *attr);
+  auto scan = study.Scan(*domain, *attr);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  auto spread = study.RunSpread(*scan);
   if (!spread.ok()) {
     std::cerr << spread.status() << "\n";
     return 1;
@@ -186,7 +203,12 @@ int CmdSpread(const Args& args) {
 
 int CmdReviews(const Args& args) {
   Study study(OptionsFrom(args));
-  auto result = study.RunReviewSpread();
+  auto scan = study.Scan(Domain::kRestaurants, Attribute::kReviews);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  auto result = study.RunReviewSpread(*scan);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
@@ -217,7 +239,12 @@ int CmdSetCover(const Args& args) {
     return 2;
   }
   Study study(OptionsFrom(args));
-  auto curve = study.RunSetCover(*domain, *attr);
+  auto scan = study.Scan(*domain, *attr);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  auto curve = study.RunSetCover(*scan);
   if (!curve.ok()) {
     std::cerr << curve.status() << "\n";
     return 1;
@@ -238,7 +265,12 @@ int CmdGraph(const Args& args) {
   Study study(OptionsFrom(args));
   std::vector<GraphMetricsRow> rows;
   auto add = [&](Domain d, Attribute a) -> bool {
-    auto row = study.RunGraphMetrics(d, a);
+    auto scan = study.Scan(d, a);
+    if (!scan.ok()) {
+      std::cerr << scan.status() << "\n";
+      return false;
+    }
+    auto row = study.RunGraphMetrics(*scan);
     if (!row.ok()) {
       std::cerr << row.status() << "\n";
       return false;
@@ -288,7 +320,12 @@ int CmdRobustness(const Args& args) {
     return 2;
   }
   Study study(OptionsFrom(args));
-  auto sweep = study.RunRobustness(*domain, *attr, 10);
+  auto scan = study.Scan(*domain, *attr);
+  if (!scan.ok()) {
+    std::cerr << scan.status() << "\n";
+    return 1;
+  }
+  auto sweep = study.RunRobustness(*scan, 10);
   if (!sweep.ok()) {
     std::cerr << sweep.status() << "\n";
     return 1;
@@ -430,7 +467,7 @@ int CmdScanCache(const Args& args) {
     return 1;
   }
   std::optional<ReviewDetector> detector;
-  if (*attr == Attribute::kReviews) {
+  if (GetAttributeSpec(*attr).review_channel) {
     auto built = ReviewDetector::CreateDefault(options.seed ^ 0xdecafULL);
     if (!built.ok()) {
       std::cerr << built.status() << "\n";
@@ -676,11 +713,17 @@ int CmdPaper(const Args& args) {
     const char* prefix;
     Attribute attr;
   };
+  auto run_spread =
+      [&](Domain d, Attribute a) -> StatusOr<Study::SpreadResult> {
+    auto scan = study.Scan(d, a);
+    if (!scan.ok()) return scan.status();
+    return study.RunSpread(*scan);
+  };
   for (const SpreadJob& job :
        {SpreadJob{"fig1_phone", Attribute::kPhone},
         SpreadJob{"fig2_homepage", Attribute::kHomepage}}) {
     for (Domain domain : LocalBusinessDomains()) {
-      auto spread = study.RunSpread(domain, job.attr);
+      auto spread = run_spread(domain, job.attr);
       if (!spread.ok()) {
         std::cerr << spread.status() << "\n";
         return 1;
@@ -698,7 +741,7 @@ int CmdPaper(const Args& args) {
     }
   }
   {
-    auto spread = study.RunSpread(Domain::kBooks, Attribute::kIsbn);
+    auto spread = run_spread(Domain::kBooks, Attribute::kIsbn);
     if (!spread.ok() ||
         !write("fig3_isbn_books", spread_rows(spread->curve)).ok()) {
       return 1;
@@ -706,7 +749,12 @@ int CmdPaper(const Args& args) {
   }
   // Figure 4.
   {
-    auto result = study.RunReviewSpread();
+    auto scan = study.Scan(Domain::kRestaurants, Attribute::kReviews);
+    if (!scan.ok()) {
+      std::cerr << scan.status() << "\n";
+      return 1;
+    }
+    auto result = study.RunReviewSpread(*scan);
     if (!result.ok()) {
       std::cerr << result.status() << "\n";
       return 1;
@@ -724,8 +772,12 @@ int CmdPaper(const Args& args) {
   }
   // Figure 5.
   {
-    auto curve = study.RunSetCover(Domain::kRestaurants,
-                                   Attribute::kHomepage);
+    auto scan = study.Scan(Domain::kRestaurants, Attribute::kHomepage);
+    if (!scan.ok()) {
+      std::cerr << scan.status() << "\n";
+      return 1;
+    }
+    auto curve = study.RunSetCover(*scan);
     if (!curve.ok()) {
       std::cerr << curve.status() << "\n";
       return 1;
@@ -777,7 +829,12 @@ int CmdPaper(const Args& args) {
     std::vector<std::vector<std::string>> robustness = {
         {"domain", "attr", "removed", "largest_fraction"}};
     auto add = [&](Domain d, Attribute a) -> bool {
-      auto row = study.RunGraphMetrics(d, a);
+      auto scan = study.Scan(d, a);
+      if (!scan.ok()) {
+        std::cerr << scan.status() << "\n";
+        return false;
+      }
+      auto row = study.RunGraphMetrics(*scan);
       if (!row.ok()) {
         std::cerr << row.status() << "\n";
         return false;
@@ -788,7 +845,7 @@ int CmdPaper(const Args& args) {
                       std::to_string(row->diameter),
                       std::to_string(row->num_components),
                       StrFormat("%.4f", row->largest_component_entity_pct)});
-      auto sweep = study.RunRobustness(d, a, 10);
+      auto sweep = study.RunRobustness(*scan, 10);
       if (!sweep.ok()) {
         std::cerr << sweep.status() << "\n";
         return false;
@@ -882,7 +939,8 @@ int CmdHelp() {
       "               reruns with the same options skip the scan)\n"
       "              --metrics_out=f.json  (dump registry after any run)\n"
       "domains: books restaurants automotive banks libraries schools "
-      "hotels retail home\n";
+      "hotels retail home\n"
+      "attributes: " << AttributeVocabulary() << "\n";
   return 0;
 }
 
